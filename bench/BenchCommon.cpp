@@ -1,0 +1,75 @@
+//===- BenchCommon.cpp ------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace rmt;
+using namespace rmt::bench;
+
+RunRow rmt::bench::runInstance(const std::string &Name,
+                               const SdvParams &Params,
+                               const EngineConfig &Config,
+                               double TimeoutSeconds) {
+  AstContext Ctx;
+  Program Prog = makeSdvProgram(Ctx, Params);
+
+  VerifierOptions Opts;
+  Opts.Bound = 1; // drivers are loop-free by construction
+  Opts.UseInvariants = Config.UseInvariants;
+  Opts.Engine.Strategy.Kind = Config.Kind;
+  Opts.Engine.TimeoutSeconds = TimeoutSeconds;
+
+  VerifierRunResult R = verifyProgram(Ctx, Prog, Ctx.sym("main"), Opts);
+
+  RunRow Row;
+  Row.Instance = Name;
+  Row.Config = Config.Name;
+  Row.Outcome = R.Result.Outcome;
+  Row.Seconds = R.Result.Seconds;
+  Row.Inlined = R.Result.NumInlined;
+  Row.Merged = R.Result.NumMerged;
+  Row.MergeLookupSeconds = R.Result.MergeLookupSeconds;
+  return Row;
+}
+
+std::vector<RunRow>
+rmt::bench::runCorpus(const std::vector<SdvInstance> &Corpus,
+                      const std::vector<EngineConfig> &Configs,
+                      double TimeoutSeconds) {
+  std::vector<RunRow> Rows;
+  Rows.reserve(Corpus.size() * Configs.size());
+  for (const SdvInstance &Inst : Corpus) {
+    for (const EngineConfig &Config : Configs) {
+      RunRow Row = runInstance(Inst.Name, Inst.Params, Config,
+                               TimeoutSeconds);
+      std::fprintf(stderr, "  [%s] %-12s %-8s %7.2fs inlined=%zu\n",
+                   Config.Name.c_str(), Inst.Name.c_str(),
+                   verdictName(Row.Outcome), Row.Seconds, Row.Inlined);
+      Rows.push_back(std::move(Row));
+    }
+  }
+  return Rows;
+}
+
+std::vector<EngineConfig> rmt::bench::standardConfigs() {
+  return {
+      {"SI-Inv", MergeStrategyKind::None, false},
+      {"DI-Inv", MergeStrategyKind::First, false},
+      {"SI+Inv", MergeStrategyKind::None, true},
+      {"DI+Inv", MergeStrategyKind::First, true},
+  };
+}
+
+double rmt::bench::envTimeout(double Default) {
+  if (const char *V = std::getenv("RMT_BENCH_TIMEOUT"))
+    return std::atof(V);
+  return Default;
+}
+
+unsigned rmt::bench::envCount(unsigned Default) {
+  if (const char *V = std::getenv("RMT_BENCH_COUNT"))
+    return static_cast<unsigned>(std::atoi(V));
+  return Default;
+}

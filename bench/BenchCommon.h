@@ -1,0 +1,67 @@
+//===- BenchCommon.h - Shared benchmark harness ------------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the figure/table reproduction benches: the SDV-like
+/// corpus runner (one row per instance × engine configuration) and
+/// environment knobs so a full `for b in build/bench/*; do $b; done` sweep
+/// stays tractable:
+///
+///   RMT_BENCH_TIMEOUT  — per-instance timeout seconds (default per bench)
+///   RMT_BENCH_COUNT    — corpus size (default per bench)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_BENCH_BENCHCOMMON_H
+#define RMT_BENCH_BENCHCOMMON_H
+
+#include "core/Verifier.h"
+#include "workload/SdvGen.h"
+
+#include <string>
+#include <vector>
+
+namespace rmt {
+namespace bench {
+
+/// One engine configuration under comparison (a column of Fig. 12).
+struct EngineConfig {
+  std::string Name;          // e.g. "SI-Inv", "DI+Inv"
+  MergeStrategyKind Kind = MergeStrategyKind::First;
+  bool UseInvariants = false;
+};
+
+/// Result of one instance under one configuration.
+struct RunRow {
+  std::string Instance;
+  std::string Config;
+  Verdict Outcome = Verdict::Unknown;
+  double Seconds = 0;
+  size_t Inlined = 0;
+  size_t Merged = 0;
+  double MergeLookupSeconds = 0;
+};
+
+/// Runs \p Config on the driver described by \p Params.
+RunRow runInstance(const std::string &Name, const SdvParams &Params,
+                   const EngineConfig &Config, double TimeoutSeconds);
+
+/// Runs every configuration over every corpus instance.
+std::vector<RunRow> runCorpus(const std::vector<SdvInstance> &Corpus,
+                              const std::vector<EngineConfig> &Configs,
+                              double TimeoutSeconds);
+
+/// The four Fig. 12 configurations.
+std::vector<EngineConfig> standardConfigs();
+
+/// Environment overrides with defaults.
+double envTimeout(double Default);
+unsigned envCount(unsigned Default);
+
+} // namespace bench
+} // namespace rmt
+
+#endif // RMT_BENCH_BENCHCOMMON_H

@@ -1,0 +1,94 @@
+//===- bounded_loops.cpp - Bounded verification of loops and recursion ----===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+// The paper's engines decide reachability for *hierarchical* programs; loopy
+// and recursive programs are first bounded ("once loops have been unrolled
+// and recursion unfolded up to a bound, the resulting program is
+// hierarchical"). This example shows the BMC semantics: a bug that needs 6
+// loop iterations plus recursion depth 4 is invisible at small bounds and
+// appears once the bound covers it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "parser/Parser.h"
+
+#include <cstdio>
+
+using namespace rmt;
+
+namespace {
+
+const char *Source = R"(
+var total: int;
+
+// Recursive accumulator: adds d to total, recursing d times.
+procedure pump(d: int) {
+  if (d > 0) {
+    total := total + 1;
+    call pump(d - 1);
+  }
+}
+
+procedure main() {
+  var i: int;
+  var n: int;
+  havoc n;
+  assume 0 <= n && n <= 6;
+  total := 0;
+  i := 0;
+  while (i < n) {
+    i := i + 1;
+    call pump(3);
+  }
+  // Wrong for n == 6: total reaches 18.
+  assert total <= 15;
+}
+)";
+
+} // namespace
+
+int main() {
+  std::printf("-- fixed bounds --\n");
+  for (unsigned Bound : {2u, 4u, 6u, 8u}) {
+    AstContext Ctx;
+    DiagEngine Diags;
+    std::optional<Program> Prog = parseAndCheck(Source, Ctx, Diags);
+    if (!Prog) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    VerifierOptions Opts;
+    Opts.Bound = Bound;
+    Opts.Engine.Strategy.Kind = MergeStrategyKind::First;
+    Opts.Engine.TimeoutSeconds = 60;
+    VerifierRunResult R = verifyProgram(Ctx, *Prog, Ctx.sym("main"), Opts);
+    std::printf("bound=%u  verdict=%-7s  (hierarchical program: %zu procs, "
+                "%zu labels; inlined %zu)\n",
+                Bound, verdictName(R.Result.Outcome), R.NumProcs, R.NumLabels,
+                R.Result.NumInlined);
+  }
+  std::printf("\nThe assertion needs n=6 loop iterations and pump depth 4;\n"
+              "bounds below that report safe (no execution within the bound\n"
+              "violates it), larger bounds expose the bug.\n");
+
+  // Corral-style bound escalation finds the right bound automatically.
+  std::printf("\n-- iterative deepening (1, 2, 4, 8, ...) --\n");
+  AstContext Ctx;
+  DiagEngine Diags;
+  std::optional<Program> Prog = parseAndCheck(Source, Ctx, Diags);
+  if (!Prog)
+    return 1;
+  VerifierOptions Opts;
+  Opts.Engine.Strategy.Kind = MergeStrategyKind::First;
+  Opts.Engine.TimeoutSeconds = 120;
+  DeepeningResult R =
+      verifyIterativeDeepening(Ctx, *Prog, Ctx.sym("main"), Opts, 16);
+  std::printf("bounds tried:");
+  for (unsigned B : R.BoundsTried)
+    std::printf(" %u", B);
+  std::printf("  ->  verdict=%s at bound %u\n",
+              verdictName(R.Last.Result.Outcome), R.ReachedBound);
+  return 0;
+}

@@ -1,0 +1,229 @@
+//===- hbpl_verify.cpp - Command-line verifier front-end ------------------===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+// A small Corral-like command-line tool over the library:
+//
+//   hbpl_verify FILE.hbpl [--entry NAME] [--bound N] [--strategy S]
+//               [--timeout SECS] [--inv] [--eager] [--passify]
+//               [--dump-cfg] [--dump-dag]
+//
+// Strategies: none (tree / SI), first (DI default), random, randompick,
+// maxc, opt. Exit code: 0 safe, 1 usage/parse error, 10 bug, 20 timeout or
+// resource-out, 30 unknown.
+//
+// Run with no arguments to verify a built-in demo program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Lower.h"
+#include "core/Consistency.h"
+#include "core/DotExport.h"
+#include "core/Verifier.h"
+#include "parser/Parser.h"
+#include "transform/Transforms.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace rmt;
+
+namespace {
+
+const char *DemoSource = R"(
+var balance: int;
+
+procedure deposit(amount: int) {
+  assume amount > 0;
+  balance := balance + amount;
+}
+
+procedure withdraw(amount: int) returns (ok: bool) {
+  if (amount <= balance && amount > 0) {
+    balance := balance - amount;
+    ok := true;
+  } else {
+    ok := false;
+  }
+}
+
+procedure main() {
+  var a: int;
+  var ok: bool;
+  balance := 0;
+  havoc a;
+  if (*) { call deposit(10); } else { call deposit(25); }
+  call ok := withdraw(a);
+  assert balance >= 0;
+}
+)";
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hbpl_verify FILE.hbpl [--entry NAME] [--bound N] "
+               "[--strategy none|first|random|randompick|maxc|opt] "
+               "[--timeout SECS] [--inv] [--eager] [--dump-cfg]\n");
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string File;
+  std::string EntryName = "main";
+  VerifierOptions Opts;
+  Opts.Bound = 2;
+  Opts.Engine.TimeoutSeconds = 300;
+  bool DumpCfg = false;
+  bool DumpDag = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Value = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (Arg == "--entry") {
+      const char *V = Value();
+      if (!V)
+        return usage();
+      EntryName = V;
+    } else if (Arg == "--bound") {
+      const char *V = Value();
+      if (!V)
+        return usage();
+      Opts.Bound = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--strategy") {
+      const char *V = Value();
+      if (!V)
+        return usage();
+      std::optional<MergeStrategyKind> Kind = parseStrategyKind(V);
+      if (!Kind) {
+        std::fprintf(stderr, "error: unknown strategy '%s'\n", V);
+        return usage();
+      }
+      Opts.Engine.Strategy.Kind = *Kind;
+    } else if (Arg == "--timeout") {
+      const char *V = Value();
+      if (!V)
+        return usage();
+      Opts.Engine.TimeoutSeconds = std::atof(V);
+    } else if (Arg == "--inv") {
+      Opts.UseInvariants = true;
+    } else if (Arg == "--eager") {
+      Opts.Engine.Eager = true;
+    } else if (Arg == "--passify") {
+      Opts.Engine.Pvc = PvcMode::Passified;
+    } else if (Arg == "--dump-cfg") {
+      DumpCfg = true;
+    } else if (Arg == "--dump-dag") {
+      DumpDag = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return usage();
+    } else {
+      File = Arg;
+    }
+  }
+
+  std::string Source;
+  if (File.empty()) {
+    std::printf("no input file; verifying the built-in demo program\n\n");
+    Source = DemoSource;
+  } else {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  }
+
+  AstContext Ctx;
+  DiagEngine Diags;
+  std::optional<Program> Prog = parseAndCheck(Source, Ctx, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  if (!Prog->findProc(Ctx.sym(EntryName))) {
+    std::fprintf(stderr, "error: no procedure named '%s'\n",
+                 EntryName.c_str());
+    return 1;
+  }
+
+  if (DumpCfg) {
+    BoundedInstance Inst =
+        prepareBounded(Ctx, *Prog, Ctx.sym(EntryName), Opts.Bound);
+    CfgProgram Cfg = lowerToCfg(Ctx, Inst.Prog);
+    std::printf("%s\n", Cfg.str(Ctx).c_str());
+  }
+  if (DumpDag) {
+    // Structure-only full DAG inlining with the selected strategy, then
+    // render Graphviz to stdout (pipe into `dot -Tsvg`).
+    BoundedInstance Inst =
+        prepareBounded(Ctx, *Prog, Ctx.sym(EntryName), Opts.Bound);
+    CfgProgram Cfg = lowerToCfg(Ctx, Inst.Prog);
+    ProcId Root = Cfg.findProc(Ctx.sym(EntryName));
+    TermArena Arena;
+    VcContext Vc(Ctx, Cfg, Arena);
+    DisjointAnalysis Disj(Cfg);
+    ConsistencyChecker Check(Vc, Disj);
+    std::unique_ptr<MergeStrategy> Strategy =
+        createStrategy(Opts.Engine.Strategy, Cfg, Disj, Root);
+    NodeId RootNode = Vc.genPvc(Root);
+    Check.onNewNode(RootNode);
+    Strategy->noteNewNode(RootNode, InvalidEdge);
+    while (!Vc.openEdges().empty() && Vc.numInlined() < 5000) {
+      EdgeId E = Vc.openEdges().front();
+      std::optional<NodeId> Pick = Strategy->pick(Vc, Check, E);
+      NodeId N;
+      if (Pick) {
+        N = *Pick;
+      } else {
+        N = Vc.genPvc(Vc.edge(E).Callee);
+        Check.onNewNode(N);
+        Strategy->noteNewNode(N, E);
+      }
+      Vc.bindEdge(E, N);
+      Check.onBind(E, N);
+    }
+    std::printf("%s", inliningDagToDot(Ctx, Vc).c_str());
+  }
+
+  VerifierRunResult R = verifyProgram(Ctx, *Prog, Ctx.sym(EntryName), Opts);
+
+  std::printf("verdict:   %s\n", verdictName(R.Result.Outcome));
+  std::printf("bound:     %u\n", Opts.Bound);
+  std::printf("asserts:   %u\n", R.NumAsserts);
+  std::printf("inlined:   %zu procedure instances (%zu merged calls)\n",
+              R.Result.NumInlined, R.Result.NumMerged);
+  std::printf("checks:    %zu solver calls in %zu iterations\n",
+              R.Result.NumSolverChecks, R.Result.NumIterations);
+  if (Opts.UseInvariants)
+    std::printf("invariants: %u conjuncts injected\n", R.InvariantConjuncts);
+  std::printf("time:      %.3fs (merge lookups %.4fs, %llu Disj_blk "
+              "queries)\n",
+              R.Result.Seconds, R.Result.MergeLookupSeconds,
+              static_cast<unsigned long long>(R.Result.NumDisjQueries));
+  if (R.Result.Outcome == Verdict::Bug)
+    std::printf("\ncounterexample:\n%s", R.TraceText.c_str());
+
+  switch (R.Result.Outcome) {
+  case Verdict::Safe:
+    return 0;
+  case Verdict::Bug:
+    return 10;
+  case Verdict::Timeout:
+  case Verdict::ResourceOut:
+    return 20;
+  case Verdict::Unknown:
+    return 30;
+  }
+  return 30;
+}

@@ -1,0 +1,506 @@
+//===- InvariantGen.cpp ---------------------------------------------------===//
+
+#include "analysis/InvariantGen.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rmt;
+
+void AbsEnv::joinWith(const AbsEnv &O) {
+  if (O.Bottom)
+    return;
+  if (Bottom) {
+    *this = O;
+    return;
+  }
+  // Missing keys are top; a key survives only if bounded on both sides.
+  for (auto It = Vals.begin(); It != Vals.end();) {
+    auto OIt = O.Vals.find(It->first);
+    if (OIt == O.Vals.end()) {
+      It = Vals.erase(It);
+      continue;
+    }
+    It->second = It->second.join(OIt->second);
+    if (It->second.isTop()) {
+      It = Vals.erase(It);
+      continue;
+    }
+    ++It;
+  }
+}
+
+AbsEnv AbsEnv::widen(const AbsEnv &Old, const AbsEnv &New) {
+  if (Old.isBottom())
+    return New; // first value: nothing to widen against
+  if (New.isBottom())
+    return New;
+  AbsEnv Out;
+  // Missing keys are top; only keys present in both can keep bounds, and a
+  // bound survives only if it did not move since the previous iterate.
+  for (const auto &[Var, NewI] : New.Vals) {
+    auto It = Old.Vals.find(Var);
+    if (It == Old.Vals.end())
+      continue; // was top before? no — was absent ⇒ treat as moved ⇒ top
+    const Interval &OldI = It->second;
+    Interval W = Interval::top();
+    if (NewI.hasLo() && OldI.hasLo() && NewI.lo() == OldI.lo())
+      W = W.meet(Interval::atLeast(NewI.lo()));
+    if (NewI.hasHi() && OldI.hasHi() && NewI.hi() == OldI.hi())
+      W = W.meet(Interval::atMost(NewI.hi()));
+    Out.set(Var, W);
+  }
+  return Out;
+}
+
+IntervalAnalysis::IntervalAnalysis(const CfgProgram &Prog, ProcId Entry)
+    : Prog(Prog) {
+  EntryEnvs.assign(Prog.Procs.size(), AbsEnv::bottomEnv());
+  ExitSummaries.assign(Prog.Procs.size(), AbsEnv::bottomEnv());
+  ContextExitSummaries.assign(Prog.Procs.size(), AbsEnv::bottomEnv());
+
+  // Phase 1: callees-first exit summaries under an unconstrained entry.
+  std::vector<ProcId> BottomUp = Prog.bottomUpProcOrder();
+  for (ProcId P : BottomUp)
+    ExitSummaries[P] =
+        analyzeProc(P, AbsEnv(), ExitSummaries, /*Record=*/false);
+
+  // Phase 2: ascending Kleene iteration for entries + contextual exits.
+  // Entries accumulate joins of call contexts; exits are recomputed from
+  // entries; both only grow, and widening after WidenAfter rounds forces
+  // convergence despite the interval domain's infinite ascending chains.
+  EntryEnvs[Entry] = AbsEnv();
+  constexpr int WidenAfter = 3;
+  constexpr int MaxRounds = 24;
+  for (int Round = 0; Round < MaxRounds; ++Round) {
+    std::vector<AbsEnv> PrevEntries = EntryEnvs;
+    std::vector<AbsEnv> PrevExits = ContextExitSummaries;
+
+    // Callers first: propagate contexts (Record joins into EntryEnvs).
+    for (auto It = BottomUp.rbegin(); It != BottomUp.rend(); ++It)
+      if (!EntryEnvs[*It].isBottom())
+        analyzeProc(*It, EntryEnvs[*It], ContextExitSummaries,
+                    /*Record=*/true);
+    // Callees first: recompute contextual exits under the new entries.
+    for (ProcId P : BottomUp)
+      if (!EntryEnvs[P].isBottom())
+        ContextExitSummaries[P] =
+            analyzeProc(P, EntryEnvs[P], ContextExitSummaries,
+                        /*Record=*/false);
+
+    if (Round >= WidenAfter) {
+      for (size_t I = 0; I < EntryEnvs.size(); ++I) {
+        EntryEnvs[I] = AbsEnv::widen(PrevEntries[I], EntryEnvs[I]);
+        ContextExitSummaries[I] =
+            AbsEnv::widen(PrevExits[I], ContextExitSummaries[I]);
+      }
+    }
+    if (EntryEnvs == PrevEntries && ContextExitSummaries == PrevExits)
+      return; // post-fixpoint reached: sound to consume
+  }
+  // Did not stabilize within the round budget (should not happen: widening
+  // collapses every moving bound). Fall back to soundness: drop everything
+  // unreachable-from-phase-1 facts cannot express.
+  for (ProcId P = 0; P < Prog.Procs.size(); ++P) {
+    if (!EntryEnvs[P].isBottom())
+      EntryEnvs[P] = AbsEnv();
+    ContextExitSummaries[P] = ExitSummaries[P];
+  }
+}
+
+AbsEnv IntervalAnalysis::analyzeProc(ProcId P, const AbsEnv &Entry,
+                                     const std::vector<AbsEnv> &CallSummaries,
+                                     bool Record) {
+  const CfgProc &Proc = Prog.proc(P);
+  std::unordered_map<LabelId, AbsEnv> Pre;
+  for (LabelId L : Proc.Labels)
+    Pre[L] = AbsEnv::bottomEnv();
+  // Entry env constrains globals and parameters only; returns and locals
+  // start nondeterministic (which "top" already expresses).
+  Pre[Proc.Entry] = Entry;
+
+  AbsEnv Exit = AbsEnv::bottomEnv();
+  for (LabelId L : Prog.topoOrder(P)) {
+    const AbsEnv &In = Pre[L];
+    if (In.isBottom() && L != Proc.Entry) {
+      // Unreachable label (or dead branch).
+      continue;
+    }
+    AbsEnv Out = In;
+    const CfgStmt &S = Prog.label(L).Stmt;
+    switch (S.Kind) {
+    case CfgStmtKind::Assume:
+      refine(Out, S.E, /*Positive=*/true);
+      break;
+    case CfgStmtKind::Assign:
+      Out.set(S.Target, evalExpr(S.E, In));
+      break;
+    case CfgStmtKind::Havoc:
+      for (Symbol V : S.Vars)
+        Out.set(V, Proc.typeOf(V) && Proc.typeOf(V)->isBool()
+                       ? Interval::boolTop()
+                       : Interval::top());
+      break;
+    case CfgStmtKind::Call: {
+      const CfgProc &Callee = Prog.proc(S.Callee);
+      if (Record) {
+        // Contribute this context to the callee's entry invariant.
+        AbsEnv Context;
+        for (const VarDecl &G : Prog.Globals)
+          Context.set(G.Name, In.get(G.Name));
+        for (size_t I = 0; I < Callee.Params.size(); ++I)
+          Context.set(Callee.Params[I].Name, evalExpr(S.Args[I], In));
+        if (!In.isBottom())
+          EntryEnvs[S.Callee].joinWith(Context);
+      }
+      // Post-state: globals and results come from the callee's summary. A
+      // bottom summary means "no terminated execution of the callee is
+      // known (yet)": the continuation is unreachable. During the ascending
+      // iteration this is the least-fixpoint reading; at the fixpoint it is
+      // exact (our callees always terminate control-wise, so a reachable
+      // call's callee has a non-bottom summary).
+      const AbsEnv &Summary = CallSummaries[S.Callee];
+      if (Summary.isBottom()) {
+        Out = AbsEnv::bottomEnv();
+        break;
+      }
+      for (const VarDecl &G : Prog.Globals)
+        Out.set(G.Name, Summary.get(G.Name));
+      for (size_t I = 0; I < S.Vars.size(); ++I)
+        Out.set(S.Vars[I], Summary.get(Callee.Returns[I].Name));
+      break;
+    }
+    }
+
+    if (Prog.label(L).Targets.empty()) {
+      // Exit label: project onto globals and returns for the summary.
+      AbsEnv Projected;
+      if (Out.isBottom()) {
+        Projected = AbsEnv::bottomEnv();
+      } else {
+        for (const VarDecl &G : Prog.Globals)
+          Projected.set(G.Name, Out.get(G.Name));
+        for (const VarDecl &R : Proc.Returns)
+          Projected.set(R.Name, Out.get(R.Name));
+      }
+      Exit.joinWith(Projected);
+    } else {
+      for (LabelId T : Prog.label(L).Targets)
+        Pre[T].joinWith(Out);
+    }
+  }
+  return Exit;
+}
+
+Interval IntervalAnalysis::evalExpr(const Expr *E, const AbsEnv &Env) const {
+  if (Env.isBottom())
+    return Interval::bottom();
+  // Bitvector values wrap; the (mathematical-integer) interval domain does
+  // not model them. Any bv-valued expression is top; comparisons over bv
+  // operands then evaluate over top operands, which is sound.
+  if (E->type() && E->type()->isBv())
+    return Interval::top();
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return Interval::constant(E->intValue());
+  case ExprKind::BoolLit:
+    return Interval::constant(E->boolValue() ? 1 : 0);
+  case ExprKind::Var: {
+    Interval I = Env.get(E->var());
+    if (E->type() && E->type()->isBool())
+      return I.meet(Interval::boolTop());
+    return I;
+  }
+  case ExprKind::Unary: {
+    Interval Sub = evalExpr(E->op0(), Env);
+    if (E->unOp() == UnOp::Neg)
+      return Sub.neg();
+    // Boolean negation: 1 - x over [0,1].
+    return Interval::constant(1).sub(Sub).meet(Interval::boolTop());
+  }
+  case ExprKind::Binary: {
+    Interval L = evalExpr(E->op0(), Env);
+    Interval R = evalExpr(E->op1(), Env);
+    switch (E->binOp()) {
+    case BinOp::Add:
+      return L.add(R);
+    case BinOp::Sub:
+      return L.sub(R);
+    case BinOp::Mul:
+      return L.mul(R);
+    case BinOp::Div:
+      return Interval::top();
+    case BinOp::Mod:
+      // SMT-LIB mod with a positive constant divisor c lands in [0, c-1].
+      if (R.isConstant() && R.lo() > 0)
+        return Interval::bounded(0, R.lo() - 1);
+      return Interval::top();
+    case BinOp::Lt:
+      return L.ltCmp(R);
+    case BinOp::Le:
+      return L.leCmp(R);
+    case BinOp::Gt:
+      return R.ltCmp(L);
+    case BinOp::Ge:
+      return R.leCmp(L);
+    case BinOp::Eq:
+      return L.eqCmp(R);
+    case BinOp::Ne:
+      return Interval::constant(1).sub(L.eqCmp(R)).meet(Interval::boolTop());
+    case BinOp::And:
+      if ((L.isConstant() && L.lo() == 0) || (R.isConstant() && R.lo() == 0))
+        return Interval::constant(0);
+      if (L.isConstant() && R.isConstant())
+        return Interval::constant(1);
+      return Interval::boolTop();
+    case BinOp::Or:
+      if ((L.isConstant() && L.lo() == 1) || (R.isConstant() && R.lo() == 1))
+        return Interval::constant(1);
+      if (L.isConstant() && R.isConstant())
+        return Interval::constant(0);
+      return Interval::boolTop();
+    case BinOp::Implies:
+      if (L.isConstant() && L.lo() == 0)
+        return Interval::constant(1);
+      if (L.isConstant() && L.lo() == 1)
+        return R.meet(Interval::boolTop());
+      return Interval::boolTop();
+    case BinOp::Iff:
+      if (L.isConstant() && R.isConstant())
+        return Interval::constant(L.lo() == R.lo() ? 1 : 0);
+      return Interval::boolTop();
+    }
+    return Interval::top();
+  }
+  case ExprKind::Ite: {
+    Interval C = evalExpr(E->op0(), Env);
+    if (C.isConstant())
+      return evalExpr(C.lo() ? E->op1() : E->op2(), Env);
+    return evalExpr(E->op1(), Env).join(evalExpr(E->op2(), Env));
+  }
+  case ExprKind::Select:
+  case ExprKind::Store:
+    // Array contents are not tracked.
+    return Interval::top();
+  }
+  return Interval::top();
+}
+
+void IntervalAnalysis::refine(AbsEnv &Env, const Expr *E,
+                              bool Positive) const {
+  if (Env.isBottom())
+    return;
+  switch (E->kind()) {
+  case ExprKind::BoolLit:
+    if (E->boolValue() != Positive)
+      Env = AbsEnv::bottomEnv();
+    return;
+  case ExprKind::Var:
+    Env.set(E->var(), Env.get(E->var()).meet(
+                          Interval::constant(Positive ? 1 : 0)));
+    return;
+  case ExprKind::Unary:
+    if (E->unOp() == UnOp::Not)
+      refine(Env, E->op0(), !Positive);
+    return;
+  case ExprKind::Binary:
+    break;
+  default:
+    return;
+  }
+
+  BinOp Op = E->binOp();
+  if (Op == BinOp::And && Positive) {
+    refine(Env, E->op0(), true);
+    refine(Env, E->op1(), true);
+    return;
+  }
+  if (Op == BinOp::Or && !Positive) {
+    refine(Env, E->op0(), false);
+    refine(Env, E->op1(), false);
+    return;
+  }
+
+  // Normalize comparisons to a positive operator.
+  auto Negated = [](BinOp O) {
+    switch (O) {
+    case BinOp::Lt:
+      return BinOp::Ge;
+    case BinOp::Le:
+      return BinOp::Gt;
+    case BinOp::Gt:
+      return BinOp::Le;
+    case BinOp::Ge:
+      return BinOp::Lt;
+    case BinOp::Eq:
+      return BinOp::Ne;
+    case BinOp::Ne:
+      return BinOp::Eq;
+    default:
+      return O;
+    }
+  };
+  bool IsCmp = Op == BinOp::Lt || Op == BinOp::Le || Op == BinOp::Gt ||
+               Op == BinOp::Ge || Op == BinOp::Eq || Op == BinOp::Ne;
+  if (!IsCmp)
+    return;
+  if (!Positive)
+    Op = Negated(Op);
+  const Expr *L = E->op0();
+  const Expr *R = E->op1();
+  // Only integer comparisons refine (Eq/Ne over other types: skip).
+  if (!L->type() || !L->type()->isInt())
+    return;
+
+  Interval LI = evalExpr(L, Env);
+  Interval RI = evalExpr(R, Env);
+
+  auto Clamp = [&](const Expr *Side, const Interval &NewBound) {
+    if (Side->kind() != ExprKind::Var)
+      return;
+    Env.set(Side->var(), Env.get(Side->var()).meet(NewBound));
+  };
+
+  switch (Op) {
+  case BinOp::Lt: // L < R
+    if (RI.hasHi())
+      Clamp(L, Interval::atMost(RI.hi() - 1));
+    if (LI.hasLo())
+      Clamp(R, Interval::atLeast(LI.lo() + 1));
+    break;
+  case BinOp::Le:
+    if (RI.hasHi())
+      Clamp(L, Interval::atMost(RI.hi()));
+    if (LI.hasLo())
+      Clamp(R, Interval::atLeast(LI.lo()));
+    break;
+  case BinOp::Gt: // L > R
+    if (RI.hasLo())
+      Clamp(L, Interval::atLeast(RI.lo() + 1));
+    if (LI.hasHi())
+      Clamp(R, Interval::atMost(LI.hi() - 1));
+    break;
+  case BinOp::Ge:
+    if (RI.hasLo())
+      Clamp(L, Interval::atLeast(RI.lo()));
+    if (LI.hasHi())
+      Clamp(R, Interval::atMost(LI.hi()));
+    break;
+  case BinOp::Eq:
+    Clamp(L, RI);
+    Clamp(R, LI);
+    break;
+  case BinOp::Ne:
+    // Only the singleton-vs-singleton contradiction is caught.
+    if (LI.isConstant() && RI.isConstant() && LI.lo() == RI.lo())
+      Env = AbsEnv::bottomEnv();
+    break;
+  default:
+    break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Injection
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Interval constraints of \p D's variable under \p Env, appended to
+/// \p Conjuncts. Only int and bool variables are expressible.
+void addVarConjuncts(AstContext &Ctx, const AbsEnv &Env, Symbol Name,
+                     const Type *Ty, std::vector<const Expr *> &Conjuncts) {
+  Interval I = Env.get(Name);
+  if (I.isTop() || !Ty || !(Ty->isInt() || Ty->isBool()))
+    return;
+  if (Ty->isBool()) {
+    if (!I.isConstant())
+      return;
+    const Expr *V = Ctx.tVar(Name, Ty);
+    Conjuncts.push_back(I.lo() ? V : Ctx.tUnary(UnOp::Not, V));
+    return;
+  }
+  const Expr *V = Ctx.tVar(Name, Ty);
+  if (I.hasLo())
+    Conjuncts.push_back(Ctx.tBinary(BinOp::Le, Ctx.tInt(I.lo()), V));
+  if (I.hasHi())
+    Conjuncts.push_back(Ctx.tBinary(BinOp::Le, V, Ctx.tInt(I.hi())));
+}
+
+} // namespace
+
+InvariantReport rmt::injectInvariants(AstContext &Ctx, CfgProgram &Prog,
+                                      ProcId Entry) {
+  IntervalAnalysis Analysis(Prog, Entry);
+  InvariantReport Report;
+
+  // --- Entry invariants: `assume inv` spliced before each entry. ----------
+  for (ProcId P = 0; P < Prog.Procs.size(); ++P) {
+    const AbsEnv &Env = Analysis.entryEnv(P);
+    if (Env.isBottom())
+      continue; // unreachable procedure: nothing to constrain
+    CfgProc &Proc = Prog.Procs[P];
+
+    std::vector<const Expr *> Conjuncts;
+    for (const VarDecl &G : Prog.Globals)
+      addVarConjuncts(Ctx, Env, G.Name, G.Ty, Conjuncts);
+    for (const VarDecl &D : Proc.Params)
+      addVarConjuncts(Ctx, Env, D.Name, D.Ty, Conjuncts);
+    if (Conjuncts.empty())
+      continue;
+
+    LabelId NewEntry = static_cast<LabelId>(Prog.Labels.size());
+    CfgLabel Lbl;
+    Lbl.Stmt.Kind = CfgStmtKind::Assume;
+    Lbl.Stmt.E = Ctx.tAnd(Conjuncts);
+    Lbl.Proc = P;
+    Lbl.Targets.push_back(Proc.Entry);
+    Prog.Labels.push_back(std::move(Lbl));
+    Proc.Labels.insert(Proc.Labels.begin(), NewEntry);
+    Proc.Entry = NewEntry;
+
+    ++Report.ProcsAnnotated;
+    Report.Conjuncts += static_cast<unsigned>(Conjuncts.size());
+  }
+
+  // --- Call-site summaries: `assume post` spliced after each call. --------
+  // These are what prune the engines' havoc summaries of open calls.
+  size_t NumLabels = Prog.Labels.size(); // snapshot: we append below
+  for (LabelId L = 0; L < NumLabels; ++L) {
+    CfgStmt &S = Prog.Labels[L].Stmt;
+    if (S.Kind != CfgStmtKind::Call)
+      continue;
+    const AbsEnv &Summary = Analysis.contextExitSummary(S.Callee);
+    if (Summary.isBottom())
+      continue;
+    const CfgProc &Callee = Prog.proc(S.Callee);
+    ProcId Owner = Prog.Labels[L].Proc;
+
+    std::vector<const Expr *> Conjuncts;
+    for (const VarDecl &G : Prog.Globals)
+      addVarConjuncts(Ctx, Summary, G.Name, G.Ty, Conjuncts);
+    // Result bindings inherit the callee's return-variable intervals.
+    for (size_t I = 0; I < S.Vars.size(); ++I) {
+      Interval RI = Summary.get(Callee.Returns[I].Name);
+      const Type *Ty = Prog.proc(Owner).typeOf(S.Vars[I]);
+      AbsEnv Shim;
+      Shim.set(S.Vars[I], RI);
+      addVarConjuncts(Ctx, Shim, S.Vars[I], Ty, Conjuncts);
+    }
+    if (Conjuncts.empty())
+      continue;
+
+    LabelId NewLabel = static_cast<LabelId>(Prog.Labels.size());
+    CfgLabel Lbl;
+    Lbl.Stmt.Kind = CfgStmtKind::Assume;
+    Lbl.Stmt.E = Ctx.tAnd(Conjuncts);
+    Lbl.Proc = Owner;
+    Lbl.Targets = Prog.Labels[L].Targets;
+    Prog.Labels[L].Targets.assign(1, NewLabel);
+    Prog.Labels.push_back(std::move(Lbl));
+    Prog.Procs[Owner].Labels.push_back(NewLabel);
+
+    ++Report.Conjuncts; // count the site; conjunct detail is secondary
+  }
+  return Report;
+}

@@ -1,0 +1,85 @@
+//===- Ast.cpp - Out-of-line AST helpers ------------------------------------===//
+
+#include "ast/Expr.h"
+#include "ast/Ops.h"
+#include "ast/Type.h"
+
+using namespace rmt;
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Bv:
+    return "bv" + std::to_string(Width);
+  case TypeKind::Array:
+    return "[" + Index->str() + "]" + Element->str();
+  }
+  return "<bad-type>";
+}
+
+unsigned Expr::numOps() const {
+  switch (Kind) {
+  case ExprKind::IntLit:
+  case ExprKind::BoolLit:
+  case ExprKind::Var:
+    return 0;
+  case ExprKind::Unary:
+    return 1;
+  case ExprKind::Binary:
+  case ExprKind::Select:
+    return 2;
+  case ExprKind::Ite:
+  case ExprKind::Store:
+    return 3;
+  }
+  return 0;
+}
+
+const char *rmt::spelling(UnOp Op) {
+  switch (Op) {
+  case UnOp::Not:
+    return "!";
+  case UnOp::Neg:
+    return "-";
+  }
+  return "?";
+}
+
+const char *rmt::spelling(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Div:
+    return "div";
+  case BinOp::Mod:
+    return "mod";
+  case BinOp::Eq:
+    return "==";
+  case BinOp::Ne:
+    return "!=";
+  case BinOp::Lt:
+    return "<";
+  case BinOp::Le:
+    return "<=";
+  case BinOp::Gt:
+    return ">";
+  case BinOp::Ge:
+    return ">=";
+  case BinOp::And:
+    return "&&";
+  case BinOp::Or:
+    return "||";
+  case BinOp::Implies:
+    return "==>";
+  case BinOp::Iff:
+    return "<==>";
+  }
+  return "?";
+}

@@ -1,0 +1,281 @@
+//===- AstContext.cpp -----------------------------------------------------===//
+
+#include "ast/AstContext.h"
+
+using namespace rmt;
+
+AstContext::AstContext() {
+  Types.push_back(Type(TypeKind::Int, nullptr, nullptr));
+  IntTy = &Types.back();
+  Types.push_back(Type(TypeKind::Bool, nullptr, nullptr));
+  BoolTy = &Types.back();
+}
+
+const Type *AstContext::bvType(unsigned Width) {
+  assert(Width >= 1 && Width <= 64 && "supported bitvector widths: 1..64");
+  auto It = BvTypes.find(Width);
+  if (It != BvTypes.end())
+    return It->second;
+  Types.push_back(Type(TypeKind::Bv, nullptr, nullptr, Width));
+  const Type *T = &Types.back();
+  BvTypes.emplace(Width, T);
+  return T;
+}
+
+const Type *AstContext::arrayType(const Type *Index, const Type *Element) {
+  assert(Index && Element && "array type needs both components");
+  auto Key = std::make_pair(Index, Element);
+  auto It = ArrayTypes.find(Key);
+  if (It != ArrayTypes.end())
+    return It->second;
+  Types.push_back(Type(TypeKind::Array, Index, Element));
+  const Type *T = &Types.back();
+  ArrayTypes.emplace(Key, T);
+  return T;
+}
+
+Expr *AstContext::newExpr(ExprKind Kind, SrcLoc Loc) {
+  Exprs.push_back(Expr(Kind, Loc));
+  return &Exprs.back();
+}
+
+Stmt *AstContext::newStmt(StmtKind Kind, SrcLoc Loc) {
+  Stmts.push_back(Stmt(Kind, Loc));
+  return &Stmts.back();
+}
+
+//===----------------------------------------------------------------------===//
+// Untyped expression builders
+//===----------------------------------------------------------------------===//
+
+Expr *AstContext::intLit(int64_t Value, SrcLoc Loc) {
+  Expr *E = newExpr(ExprKind::IntLit, Loc);
+  E->Int = Value;
+  return E;
+}
+
+Expr *AstContext::boolLit(bool Value, SrcLoc Loc) {
+  Expr *E = newExpr(ExprKind::BoolLit, Loc);
+  E->Int = Value ? 1 : 0;
+  return E;
+}
+
+Expr *AstContext::varRef(Symbol Name, SrcLoc Loc) {
+  Expr *E = newExpr(ExprKind::Var, Loc);
+  E->Name = Name;
+  return E;
+}
+
+Expr *AstContext::unary(UnOp Op, const Expr *Sub, SrcLoc Loc) {
+  assert(Sub && "null operand");
+  Expr *E = newExpr(ExprKind::Unary, Loc);
+  E->Un = Op;
+  E->Ops[0] = Sub;
+  return E;
+}
+
+Expr *AstContext::binary(BinOp Op, const Expr *L, const Expr *R, SrcLoc Loc) {
+  assert(L && R && "null operand");
+  Expr *E = newExpr(ExprKind::Binary, Loc);
+  E->Bin = Op;
+  E->Ops[0] = L;
+  E->Ops[1] = R;
+  return E;
+}
+
+Expr *AstContext::ite(const Expr *C, const Expr *T, const Expr *F,
+                      SrcLoc Loc) {
+  assert(C && T && F && "null operand");
+  Expr *E = newExpr(ExprKind::Ite, Loc);
+  E->Ops[0] = C;
+  E->Ops[1] = T;
+  E->Ops[2] = F;
+  return E;
+}
+
+Expr *AstContext::select(const Expr *Array, const Expr *Index, SrcLoc Loc) {
+  assert(Array && Index && "null operand");
+  Expr *E = newExpr(ExprKind::Select, Loc);
+  E->Ops[0] = Array;
+  E->Ops[1] = Index;
+  return E;
+}
+
+Expr *AstContext::store(const Expr *Array, const Expr *Index,
+                        const Expr *Value, SrcLoc Loc) {
+  assert(Array && Index && Value && "null operand");
+  Expr *E = newExpr(ExprKind::Store, Loc);
+  E->Ops[0] = Array;
+  E->Ops[1] = Index;
+  E->Ops[2] = Value;
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// Typed expression builders
+//===----------------------------------------------------------------------===//
+
+const Expr *AstContext::tInt(int64_t Value) {
+  Expr *E = intLit(Value);
+  E->setType(IntTy);
+  return E;
+}
+
+const Expr *AstContext::tBool(bool Value) {
+  Expr *E = boolLit(Value);
+  E->setType(BoolTy);
+  return E;
+}
+
+const Expr *AstContext::tBv(uint64_t Value, unsigned Width) {
+  const Type *Ty = bvType(Width);
+  uint64_t Mask = Width == 64 ? ~uint64_t(0) : ((uint64_t(1) << Width) - 1);
+  Expr *E = intLit(static_cast<int64_t>(Value & Mask));
+  E->setType(Ty);
+  return E;
+}
+
+const Expr *AstContext::tVar(Symbol Name, const Type *Ty) {
+  assert(Ty && "typed var needs a type");
+  Expr *E = varRef(Name);
+  E->setType(Ty);
+  return E;
+}
+
+const Expr *AstContext::tUnary(UnOp Op, const Expr *Sub) {
+  assert(Sub->type() && "operand must be typed");
+  Expr *E = unary(Op, Sub);
+  switch (Op) {
+  case UnOp::Not:
+    assert(Sub->type()->isBool() && "! needs bool");
+    E->setType(BoolTy);
+    break;
+  case UnOp::Neg:
+    assert((Sub->type()->isInt() || Sub->type()->isBv()) &&
+           "- needs int or bitvector");
+    E->setType(Sub->type());
+    break;
+  }
+  return E;
+}
+
+const Expr *AstContext::tBinary(BinOp Op, const Expr *L, const Expr *R) {
+  assert(L->type() && R->type() && "operands must be typed");
+  Expr *E = binary(Op, L, R);
+  if (isArithOp(Op)) {
+    assert(((L->type()->isInt() && R->type()->isInt()) ||
+            (L->type()->isBv() && L->type() == R->type())) &&
+           "arith needs ints or equal-width bitvectors");
+    E->setType(isPredicateOp(Op) ? BoolTy : L->type());
+    return E;
+  }
+  if (isLogicalOp(Op)) {
+    assert(L->type()->isBool() && R->type()->isBool() &&
+           "logic needs booleans");
+    E->setType(BoolTy);
+    return E;
+  }
+  // Eq / Ne.
+  assert(L->type() == R->type() && "==/!= needs equal types");
+  E->setType(BoolTy);
+  return E;
+}
+
+const Expr *AstContext::tIte(const Expr *C, const Expr *T, const Expr *F) {
+  assert(C->type() && C->type()->isBool() && "ite guard must be bool");
+  assert(T->type() && T->type() == F->type() && "ite arms must agree");
+  Expr *E = ite(C, T, F);
+  E->setType(T->type());
+  return E;
+}
+
+const Expr *AstContext::tSelect(const Expr *Array, const Expr *Index) {
+  assert(Array->type() && Array->type()->isArray() && "select needs array");
+  assert(Index->type() == Array->type()->indexType() && "index type mismatch");
+  Expr *E = select(Array, Index);
+  E->setType(Array->type()->elementType());
+  return E;
+}
+
+const Expr *AstContext::tStore(const Expr *Array, const Expr *Index,
+                               const Expr *Value) {
+  assert(Array->type() && Array->type()->isArray() && "store needs array");
+  assert(Index->type() == Array->type()->indexType() && "index type mismatch");
+  assert(Value->type() == Array->type()->elementType() &&
+         "value type mismatch");
+  Expr *E = store(Array, Index, Value);
+  E->setType(Array->type());
+  return E;
+}
+
+const Expr *AstContext::tAnd(const std::vector<const Expr *> &Terms) {
+  if (Terms.empty())
+    return tBool(true);
+  const Expr *Acc = Terms[0];
+  for (size_t I = 1; I < Terms.size(); ++I)
+    Acc = tBinary(BinOp::And, Acc, Terms[I]);
+  return Acc;
+}
+
+//===----------------------------------------------------------------------===//
+// Statement builders
+//===----------------------------------------------------------------------===//
+
+Stmt *AstContext::assign(Symbol Target, const Expr *Value, SrcLoc Loc) {
+  assert(Value && "null rhs");
+  Stmt *S = newStmt(StmtKind::Assign, Loc);
+  S->Callee = Target;
+  S->Cond = Value;
+  return S;
+}
+
+Stmt *AstContext::havoc(std::vector<Symbol> Vars, SrcLoc Loc) {
+  Stmt *S = newStmt(StmtKind::Havoc, Loc);
+  S->Lhs = std::move(Vars);
+  return S;
+}
+
+Stmt *AstContext::assume(const Expr *Cond, SrcLoc Loc) {
+  assert(Cond && "null condition");
+  Stmt *S = newStmt(StmtKind::Assume, Loc);
+  S->Cond = Cond;
+  return S;
+}
+
+Stmt *AstContext::assertStmt(const Expr *Cond, SrcLoc Loc) {
+  assert(Cond && "null condition");
+  Stmt *S = newStmt(StmtKind::Assert, Loc);
+  S->Cond = Cond;
+  return S;
+}
+
+Stmt *AstContext::call(Symbol Callee, std::vector<const Expr *> Args,
+                       std::vector<Symbol> Lhs, SrcLoc Loc) {
+  Stmt *S = newStmt(StmtKind::Call, Loc);
+  S->Callee = Callee;
+  S->Args = std::move(Args);
+  S->Lhs = std::move(Lhs);
+  return S;
+}
+
+Stmt *AstContext::ifStmt(const Expr *GuardOrNull,
+                         std::vector<const Stmt *> Then,
+                         std::vector<const Stmt *> Else, SrcLoc Loc) {
+  Stmt *S = newStmt(StmtKind::If, Loc);
+  S->Cond = GuardOrNull;
+  S->Then = std::move(Then);
+  S->Else = std::move(Else);
+  return S;
+}
+
+Stmt *AstContext::whileStmt(const Expr *GuardOrNull,
+                            std::vector<const Stmt *> Body, SrcLoc Loc) {
+  Stmt *S = newStmt(StmtKind::While, Loc);
+  S->Cond = GuardOrNull;
+  S->Then = std::move(Body);
+  return S;
+}
+
+Stmt *AstContext::returnStmt(SrcLoc Loc) {
+  return newStmt(StmtKind::Return, Loc);
+}

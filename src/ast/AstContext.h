@@ -1,0 +1,109 @@
+//===- AstContext.h - Arena and builders for the AST ------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AstContext owns every AST node (types, expressions, statements) and the
+/// identifier interner. It exposes two builder layers:
+///
+///  * untyped builders (used by the parser; the type checker fills types in),
+///  * typed builders (used by transforms, workload generators and the public
+///    embedding API; they compute and assert result types eagerly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_AST_ASTCONTEXT_H
+#define RMT_AST_ASTCONTEXT_H
+
+#include "ast/Expr.h"
+#include "ast/Stmt.h"
+#include "support/StringInterner.h"
+
+#include <deque>
+#include <map>
+
+namespace rmt {
+
+/// Owns AST storage; passed by reference alongside Program.
+class AstContext {
+public:
+  AstContext();
+  AstContext(const AstContext &) = delete;
+  AstContext &operator=(const AstContext &) = delete;
+
+  StringInterner &interner() { return Interner; }
+  const StringInterner &interner() const { return Interner; }
+
+  /// Shorthand: intern an identifier.
+  Symbol sym(std::string_view Name) { return Interner.intern(Name); }
+  /// Shorthand: spelling of an interned identifier.
+  const std::string &name(Symbol S) const { return Interner.str(S); }
+
+  // --- Types (hash-consed) -------------------------------------------------
+  const Type *intType() const { return IntTy; }
+  const Type *boolType() const { return BoolTy; }
+  /// Fixed-width bitvector type; \p Width in [1, 64].
+  const Type *bvType(unsigned Width);
+  const Type *arrayType(const Type *Index, const Type *Element);
+
+  // --- Untyped expression builders (parser) --------------------------------
+  Expr *intLit(int64_t Value, SrcLoc Loc = {});
+  Expr *boolLit(bool Value, SrcLoc Loc = {});
+  Expr *varRef(Symbol Name, SrcLoc Loc = {});
+  Expr *unary(UnOp Op, const Expr *E, SrcLoc Loc = {});
+  Expr *binary(BinOp Op, const Expr *L, const Expr *R, SrcLoc Loc = {});
+  Expr *ite(const Expr *C, const Expr *T, const Expr *E, SrcLoc Loc = {});
+  Expr *select(const Expr *Array, const Expr *Index, SrcLoc Loc = {});
+  Expr *store(const Expr *Array, const Expr *Index, const Expr *Value,
+              SrcLoc Loc = {});
+
+  // --- Typed expression builders (transforms / API) ------------------------
+  // These require operand types to be present and set the result type.
+  const Expr *tInt(int64_t Value);
+  const Expr *tBool(bool Value);
+  /// Bitvector literal \p Value (truncated to \p Width bits).
+  const Expr *tBv(uint64_t Value, unsigned Width);
+  const Expr *tVar(Symbol Name, const Type *Ty);
+  const Expr *tUnary(UnOp Op, const Expr *E);
+  const Expr *tBinary(BinOp Op, const Expr *L, const Expr *R);
+  const Expr *tIte(const Expr *C, const Expr *T, const Expr *E);
+  const Expr *tSelect(const Expr *Array, const Expr *Index);
+  const Expr *tStore(const Expr *Array, const Expr *Index, const Expr *Value);
+  /// Conjunction of \p Terms; true() when empty.
+  const Expr *tAnd(const std::vector<const Expr *> &Terms);
+
+  // --- Statement builders ---------------------------------------------------
+  Stmt *assign(Symbol Target, const Expr *Value, SrcLoc Loc = {});
+  Stmt *havoc(std::vector<Symbol> Vars, SrcLoc Loc = {});
+  Stmt *assume(const Expr *Cond, SrcLoc Loc = {});
+  Stmt *assertStmt(const Expr *Cond, SrcLoc Loc = {});
+  Stmt *call(Symbol Callee, std::vector<const Expr *> Args,
+             std::vector<Symbol> Lhs, SrcLoc Loc = {});
+  Stmt *ifStmt(const Expr *GuardOrNull, std::vector<const Stmt *> Then,
+               std::vector<const Stmt *> Else, SrcLoc Loc = {});
+  Stmt *whileStmt(const Expr *GuardOrNull, std::vector<const Stmt *> Body,
+                  SrcLoc Loc = {});
+  Stmt *returnStmt(SrcLoc Loc = {});
+
+  size_t numExprs() const { return Exprs.size(); }
+  size_t numStmts() const { return Stmts.size(); }
+
+private:
+  Expr *newExpr(ExprKind Kind, SrcLoc Loc);
+  Stmt *newStmt(StmtKind Kind, SrcLoc Loc);
+
+  StringInterner Interner;
+  std::deque<Expr> Exprs;
+  std::deque<Stmt> Stmts;
+  std::deque<Type> Types;
+  const Type *IntTy;
+  const Type *BoolTy;
+  std::map<unsigned, const Type *> BvTypes;
+  std::map<std::pair<const Type *, const Type *>, const Type *> ArrayTypes;
+};
+
+} // namespace rmt
+
+#endif // RMT_AST_ASTCONTEXT_H

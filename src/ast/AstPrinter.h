@@ -1,0 +1,39 @@
+//===- AstPrinter.h - Surface-syntax pretty printer -------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders AST nodes back into `.hbpl` surface syntax. The printer's output
+/// re-parses to a structurally identical program (round-trip tested), which
+/// lets generated workloads be dumped, inspected and stored as text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_AST_ASTPRINTER_H
+#define RMT_AST_ASTPRINTER_H
+
+#include "ast/AstContext.h"
+#include "ast/Stmt.h"
+
+#include <string>
+
+namespace rmt {
+
+/// Renders \p E with minimal parentheses.
+std::string printExpr(const AstContext &Ctx, const Expr *E);
+
+/// Renders a single statement subtree at \p Indent spaces.
+std::string printStmt(const AstContext &Ctx, const Stmt *S,
+                      unsigned Indent = 0);
+
+/// Renders a whole procedure.
+std::string printProc(const AstContext &Ctx, const Procedure &P);
+
+/// Renders a whole program in parseable `.hbpl` syntax.
+std::string printProgram(const AstContext &Ctx, const Program &Prog);
+
+} // namespace rmt
+
+#endif // RMT_AST_ASTPRINTER_H

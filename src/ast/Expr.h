@@ -1,0 +1,102 @@
+//===- Expr.h - Expressions -------------------------------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expression nodes. Expressions are immutable, arena-allocated in an
+/// AstContext, and carry their type after checking (expressions built through
+/// the typed AstContext builder API are typed at construction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_AST_EXPR_H
+#define RMT_AST_EXPR_H
+
+#include "ast/Ops.h"
+#include "ast/Type.h"
+#include "support/Diag.h"
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace rmt {
+
+/// Discriminator for Expr.
+enum class ExprKind {
+  IntLit,
+  BoolLit,
+  Var,
+  Unary,
+  Binary,
+  Ite,
+  Select, ///< array read  a[i]
+  Store,  ///< array write a[i := v], a functional update
+};
+
+/// An immutable expression tree node.
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+  SrcLoc loc() const { return Loc; }
+
+  /// Type of this expression; null until resolved/checked.
+  const Type *type() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+
+  // IntLit / BoolLit.
+  int64_t intValue() const {
+    assert(Kind == ExprKind::IntLit && "not an int literal");
+    return Int;
+  }
+  bool boolValue() const {
+    assert(Kind == ExprKind::BoolLit && "not a bool literal");
+    return Int != 0;
+  }
+
+  // Var.
+  Symbol var() const {
+    assert(Kind == ExprKind::Var && "not a variable");
+    return Name;
+  }
+
+  // Unary.
+  UnOp unOp() const {
+    assert(Kind == ExprKind::Unary && "not a unary expr");
+    return Un;
+  }
+
+  // Binary.
+  BinOp binOp() const {
+    assert(Kind == ExprKind::Binary && "not a binary expr");
+    return Bin;
+  }
+
+  /// Operand accessors. Meaning depends on kind:
+  ///  Unary: op0;  Binary: op0, op1;  Ite: cond=op0, then=op1, else=op2;
+  ///  Select: array=op0, index=op1;  Store: array=op0, index=op1, value=op2.
+  const Expr *op0() const { return Ops[0]; }
+  const Expr *op1() const { return Ops[1]; }
+  const Expr *op2() const { return Ops[2]; }
+
+  unsigned numOps() const;
+
+private:
+  friend class AstContext;
+  Expr(ExprKind Kind, SrcLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+  ExprKind Kind;
+  SrcLoc Loc;
+  const Type *Ty = nullptr;
+  int64_t Int = 0;
+  Symbol Name;
+  UnOp Un = UnOp::Not;
+  BinOp Bin = BinOp::Add;
+  const Expr *Ops[3] = {nullptr, nullptr, nullptr};
+};
+
+} // namespace rmt
+
+#endif // RMT_AST_EXPR_H

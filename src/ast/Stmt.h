@@ -1,0 +1,154 @@
+//===- Stmt.h - Statements, procedures, programs ----------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured statements of the surface language, plus Procedure and Program.
+/// The bounding pipeline (src/transform) rewrites these into a loop-free,
+/// recursion-free program; src/cfg then lowers that into the paper's label
+/// form (Fig. 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_AST_STMT_H
+#define RMT_AST_STMT_H
+
+#include "ast/Expr.h"
+
+#include <vector>
+
+namespace rmt {
+
+/// Discriminator for Stmt.
+enum class StmtKind {
+  Assign, ///< v := e
+  Havoc,  ///< havoc v1, ..., vn
+  Assume, ///< assume e
+  Assert, ///< assert e
+  Call,   ///< call r1, ..., rm := p(e1, ..., en)
+  If,     ///< if (e | *) { .. } else { .. }
+  While,  ///< while (e | *) { .. }
+  Return, ///< return (early exit from the procedure)
+};
+
+/// A structured statement. Arena-allocated in an AstContext; a Stmt's child
+/// blocks are stored inline.
+class Stmt {
+public:
+  StmtKind kind() const { return Kind; }
+  SrcLoc loc() const { return Loc; }
+
+  // Assign.
+  Symbol assignTarget() const {
+    assert(Kind == StmtKind::Assign && "not an assignment");
+    return Callee;
+  }
+  const Expr *assignValue() const {
+    assert(Kind == StmtKind::Assign && "not an assignment");
+    return Cond;
+  }
+
+  // Havoc.
+  const std::vector<Symbol> &havocVars() const {
+    assert(Kind == StmtKind::Havoc && "not a havoc");
+    return Lhs;
+  }
+
+  // Assume / Assert.
+  const Expr *condition() const {
+    assert((Kind == StmtKind::Assume || Kind == StmtKind::Assert) &&
+           "not an assume/assert");
+    return Cond;
+  }
+
+  // Call.
+  Symbol callee() const {
+    assert(Kind == StmtKind::Call && "not a call");
+    return Callee;
+  }
+  const std::vector<const Expr *> &callArgs() const {
+    assert(Kind == StmtKind::Call && "not a call");
+    return Args;
+  }
+  const std::vector<Symbol> &callLhs() const {
+    assert(Kind == StmtKind::Call && "not a call");
+    return Lhs;
+  }
+
+  // If / While. A null guard means a nondeterministic `*` condition.
+  const Expr *guard() const {
+    assert((Kind == StmtKind::If || Kind == StmtKind::While) &&
+           "not a branch/loop");
+    return Cond;
+  }
+  const std::vector<const Stmt *> &thenBlock() const {
+    assert((Kind == StmtKind::If || Kind == StmtKind::While) &&
+           "not a branch/loop");
+    return Then;
+  }
+  const std::vector<const Stmt *> &elseBlock() const {
+    assert(Kind == StmtKind::If && "not a branch");
+    return Else;
+  }
+  const std::vector<const Stmt *> &loopBody() const {
+    assert(Kind == StmtKind::While && "not a loop");
+    return Then;
+  }
+
+private:
+  friend class AstContext;
+  Stmt(StmtKind Kind, SrcLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+  StmtKind Kind;
+  SrcLoc Loc;
+  const Expr *Cond = nullptr;  // assign rhs / assume / assert / guard
+  Symbol Callee;               // assign lhs / call target
+  std::vector<Symbol> Lhs;     // call lhs / havoc vars
+  std::vector<const Expr *> Args;
+  std::vector<const Stmt *> Then;
+  std::vector<const Stmt *> Else;
+};
+
+/// A named, typed variable declaration (global, local, or parameter).
+struct VarDecl {
+  Symbol Name;
+  const Type *Ty = nullptr;
+  SrcLoc Loc;
+};
+
+/// A procedure: parameters, return variables, locals, and a structured body.
+struct Procedure {
+  Symbol Name;
+  std::vector<VarDecl> Params;
+  std::vector<VarDecl> Returns;
+  std::vector<VarDecl> Locals;
+  std::vector<const Stmt *> Body;
+  SrcLoc Loc;
+};
+
+/// A whole program. Does not own its nodes; the AstContext passed around with
+/// it does.
+struct Program {
+  std::vector<VarDecl> Globals;
+  std::vector<Procedure> Procedures;
+
+  /// Returns the procedure named \p Name or null.
+  const Procedure *findProc(Symbol Name) const {
+    for (const Procedure &P : Procedures)
+      if (P.Name == Name)
+        return &P;
+    return nullptr;
+  }
+  Procedure *findProc(Symbol Name) {
+    for (Procedure &P : Procedures)
+      if (P.Name == Name)
+        return &P;
+    return nullptr;
+  }
+};
+
+} // namespace rmt
+
+#endif // RMT_AST_STMT_H

@@ -1,0 +1,73 @@
+//===- Type.h - Types of the mini-Boogie language ---------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types for the surface language: mathematical integers, booleans and
+/// Boogie-style map/array types ([T]T). The paper's implementation "handles
+/// all types and expressions supported by existing SMT solvers"; int, bool
+/// and arrays cover every construct its examples and evaluation need.
+///
+/// Types are hash-consed inside AstContext, so `const Type *` equality is
+/// structural equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_AST_TYPE_H
+#define RMT_AST_TYPE_H
+
+#include <cassert>
+#include <string>
+
+namespace rmt {
+
+/// Discriminator for Type.
+enum class TypeKind { Int, Bool, Bv, Array };
+
+/// A uniqued type. Obtain instances through AstContext; never construct
+/// directly.
+class Type {
+public:
+  TypeKind kind() const { return Kind; }
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isBool() const { return Kind == TypeKind::Bool; }
+  bool isBv() const { return Kind == TypeKind::Bv; }
+  bool isArray() const { return Kind == TypeKind::Array; }
+
+  /// Width of a bitvector type (1..64).
+  unsigned bvWidth() const {
+    assert(isBv() && "not a bitvector type");
+    return Width;
+  }
+
+  /// Index type of an array type.
+  const Type *indexType() const {
+    assert(isArray() && "not an array type");
+    return Index;
+  }
+  /// Element type of an array type.
+  const Type *elementType() const {
+    assert(isArray() && "not an array type");
+    return Element;
+  }
+
+  /// Renders like the surface syntax: `int`, `bool`, `[int]bool`.
+  std::string str() const;
+
+private:
+  friend class AstContext;
+  Type(TypeKind Kind, const Type *Index, const Type *Element,
+       unsigned Width = 0)
+      : Kind(Kind), Index(Index), Element(Element), Width(Width) {}
+
+  TypeKind Kind;
+  const Type *Index;
+  const Type *Element;
+  unsigned Width;
+};
+
+} // namespace rmt
+
+#endif // RMT_AST_TYPE_H

@@ -1,0 +1,191 @@
+//===- Cfg.cpp ------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include "ast/AstContext.h"
+#include "ast/AstPrinter.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rmt;
+
+std::vector<ProcId> CfgProgram::calleesOf(ProcId P) const {
+  std::vector<ProcId> Out;
+  for (LabelId L : Procs[P].Labels)
+    if (Labels[L].Stmt.Kind == CfgStmtKind::Call)
+      Out.push_back(Labels[L].Stmt.Callee);
+  return Out;
+}
+
+unsigned CfgProgram::numCallSites(ProcId P) const {
+  unsigned Count = 0;
+  for (LabelId L : Procs[P].Labels)
+    if (Labels[L].Stmt.Kind == CfgStmtKind::Call)
+      ++Count;
+  return Count;
+}
+
+namespace {
+
+/// Generic DFS cycle check over an adjacency function.
+/// Nodes are dense 0..N-1 ids.
+template <typename AdjFn>
+bool isAcyclic(size_t NumNodes, AdjFn Adjacent) {
+  enum : uint8_t { White, Grey, Black };
+  std::vector<uint8_t> Color(NumNodes, White);
+  std::vector<std::pair<uint32_t, size_t>> Stack;
+  for (uint32_t Root = 0; Root < NumNodes; ++Root) {
+    if (Color[Root] != White)
+      continue;
+    Color[Root] = Grey;
+    Stack.push_back({Root, 0});
+    while (!Stack.empty()) {
+      auto &[Node, NextChild] = Stack.back();
+      const std::vector<uint32_t> &Children = Adjacent(Node);
+      if (NextChild == Children.size()) {
+        Color[Node] = Black;
+        Stack.pop_back();
+        continue;
+      }
+      uint32_t Child = Children[NextChild++];
+      if (Color[Child] == Grey)
+        return false;
+      if (Color[Child] == White) {
+        Color[Child] = Grey;
+        Stack.push_back({Child, 0});
+      }
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+bool CfgProgram::hasAcyclicFlow() const {
+  return isAcyclic(Labels.size(), [this](uint32_t L) -> const std::vector<LabelId> & {
+    return Labels[L].Targets;
+  });
+}
+
+bool CfgProgram::hasAcyclicCallGraph() const {
+  // Materialize adjacency once; calleesOf returns by value.
+  std::vector<std::vector<ProcId>> Adj(Procs.size());
+  for (ProcId P = 0; P < Procs.size(); ++P)
+    Adj[P] = calleesOf(P);
+  return isAcyclic(Procs.size(), [&Adj](uint32_t P) -> const std::vector<ProcId> & {
+    return Adj[P];
+  });
+}
+
+std::vector<LabelId> CfgProgram::topoOrder(ProcId P) const {
+  const CfgProc &Proc = Procs[P];
+  // Kahn's algorithm restricted to the procedure's labels.
+  std::unordered_map<LabelId, unsigned> InDegree;
+  for (LabelId L : Proc.Labels)
+    InDegree[L]; // ensure presence
+  for (LabelId L : Proc.Labels)
+    for (LabelId T : Labels[L].Targets)
+      ++InDegree[T];
+
+  std::vector<LabelId> Work;
+  // Seed with in-degree-zero labels; iterate Proc.Labels in order for
+  // deterministic output.
+  for (LabelId L : Proc.Labels)
+    if (InDegree[L] == 0)
+      Work.push_back(L);
+
+  std::vector<LabelId> Order;
+  Order.reserve(Proc.Labels.size());
+  for (size_t I = 0; I < Work.size(); ++I) {
+    LabelId L = Work[I];
+    Order.push_back(L);
+    for (LabelId T : Labels[L].Targets)
+      if (--InDegree[T] == 0)
+        Work.push_back(T);
+  }
+  assert(Order.size() == Proc.Labels.size() &&
+         "flow graph must be acyclic and closed within the procedure");
+  return Order;
+}
+
+std::vector<ProcId> CfgProgram::bottomUpProcOrder() const {
+  std::vector<std::vector<ProcId>> Callees(Procs.size());
+  for (ProcId P = 0; P < Procs.size(); ++P)
+    Callees[P] = calleesOf(P);
+
+  std::vector<uint8_t> Done(Procs.size(), 0);
+  std::vector<ProcId> Order;
+  Order.reserve(Procs.size());
+  // Iterative post-order over the call DAG.
+  std::vector<std::pair<ProcId, size_t>> Stack;
+  for (ProcId Root = 0; Root < Procs.size(); ++Root) {
+    if (Done[Root])
+      continue;
+    Stack.push_back({Root, 0});
+    while (!Stack.empty()) {
+      auto &[P, Next] = Stack.back();
+      if (Done[P]) {
+        Stack.pop_back();
+        continue;
+      }
+      if (Next < Callees[P].size()) {
+        ProcId C = Callees[P][Next++];
+        if (!Done[C])
+          Stack.push_back({C, 0});
+        continue;
+      }
+      Done[P] = 1;
+      Order.push_back(P);
+      Stack.pop_back();
+    }
+  }
+  return Order;
+}
+
+std::string CfgProgram::str(const AstContext &Ctx) const {
+  std::string Out;
+  for (ProcId P = 0; P < Procs.size(); ++P) {
+    const CfgProc &Proc = Procs[P];
+    Out += "proc " + Ctx.name(Proc.Name) + " entry=L" +
+           std::to_string(Proc.Entry) + "\n";
+    for (LabelId L : Proc.Labels) {
+      const CfgLabel &Lbl = Labels[L];
+      Out += "  L" + std::to_string(L) + ": ";
+      switch (Lbl.Stmt.Kind) {
+      case CfgStmtKind::Assume:
+        Out += "assume " + printExpr(Ctx, Lbl.Stmt.E);
+        break;
+      case CfgStmtKind::Assign:
+        Out += Ctx.name(Lbl.Stmt.Target) +
+               " := " + printExpr(Ctx, Lbl.Stmt.E);
+        break;
+      case CfgStmtKind::Havoc: {
+        Out += "havoc";
+        for (size_t I = 0; I < Lbl.Stmt.Vars.size(); ++I)
+          Out += (I ? ", " : " ") + Ctx.name(Lbl.Stmt.Vars[I]);
+        break;
+      }
+      case CfgStmtKind::Call: {
+        Out += "call ";
+        for (size_t I = 0; I < Lbl.Stmt.Vars.size(); ++I)
+          Out += (I ? ", " : "") + Ctx.name(Lbl.Stmt.Vars[I]);
+        if (!Lbl.Stmt.Vars.empty())
+          Out += " := ";
+        Out += Ctx.name(Procs[Lbl.Stmt.Callee].Name) + "(";
+        for (size_t I = 0; I < Lbl.Stmt.Args.size(); ++I)
+          Out += (I ? ", " : "") + printExpr(Ctx, Lbl.Stmt.Args[I]);
+        Out += ")";
+        break;
+      }
+      }
+      Out += " ->";
+      for (LabelId T : Lbl.Targets)
+        Out += " L" + std::to_string(T);
+      if (Lbl.Targets.empty())
+        Out += " <ret>";
+      Out += "\n";
+    }
+  }
+  return Out;
+}

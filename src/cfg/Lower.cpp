@@ -1,0 +1,176 @@
+//===- Lower.cpp ----------------------------------------------------------===//
+
+#include "cfg/Lower.h"
+
+#include <cassert>
+
+using namespace rmt;
+
+namespace {
+
+class Lowering {
+public:
+  Lowering(AstContext &Ctx, const Program &Prog) : Ctx(Ctx), Prog(Prog) {}
+
+  CfgProgram run() {
+    Out.Globals = Prog.Globals;
+    // Create all procedure shells first so calls can resolve to ProcIds.
+    for (const Procedure &P : Prog.Procedures) {
+      CfgProc Shell;
+      Shell.Name = P.Name;
+      Shell.Params = P.Params;
+      Shell.Returns = P.Returns;
+      Shell.Locals = P.Locals;
+      for (const VarDecl &G : Prog.Globals)
+        Shell.VarTypes[G.Name] = G.Ty;
+      for (const auto *Decls : {&P.Params, &P.Returns, &P.Locals})
+        for (const VarDecl &D : *Decls)
+          Shell.VarTypes[D.Name] = D.Ty;
+      Out.Procs.push_back(std::move(Shell));
+    }
+    for (ProcId P = 0; P < Prog.Procedures.size(); ++P)
+      lowerProc(P, Prog.Procedures[P]);
+    return std::move(Out);
+  }
+
+private:
+  LabelId newLabel(CfgStmt Stmt, SrcLoc Loc) {
+    LabelId L = static_cast<LabelId>(Out.Labels.size());
+    CfgLabel Lbl;
+    Lbl.Stmt = std::move(Stmt);
+    Lbl.Proc = Current;
+    Lbl.Loc = Loc;
+    Out.Labels.push_back(std::move(Lbl));
+    Out.Procs[Current].Labels.push_back(L);
+    return L;
+  }
+
+  CfgStmt skipStmt() {
+    CfgStmt S;
+    S.Kind = CfgStmtKind::Assume;
+    S.E = Ctx.tBool(true);
+    return S;
+  }
+
+  /// Points every dangling label at \p Succs and clears the dangling set.
+  void connect(const std::vector<LabelId> &Succs) {
+    for (LabelId L : Dangling)
+      for (LabelId S : Succs)
+        Out.Labels[L].Targets.push_back(S);
+    Dangling.clear();
+  }
+
+  void lowerProc(ProcId P, const Procedure &Proc) {
+    Current = P;
+    Dangling.clear();
+    LabelId Entry = newLabel(skipStmt(), Proc.Loc);
+    Out.Procs[P].Entry = Entry;
+    Dangling.push_back(Entry);
+    lowerBlock(Proc.Body);
+    // Whatever is still dangling falls off the end: empty successor sets,
+    // i.e. return to caller.
+    Dangling.clear();
+  }
+
+  void lowerBlock(const std::vector<const Stmt *> &Block) {
+    for (const Stmt *S : Block)
+      lowerStmt(S);
+  }
+
+  void lowerStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::Assign: {
+      CfgStmt C;
+      C.Kind = CfgStmtKind::Assign;
+      C.Target = S->assignTarget();
+      C.E = S->assignValue();
+      LabelId L = newLabel(std::move(C), S->loc());
+      connect({L});
+      Dangling.push_back(L);
+      return;
+    }
+    case StmtKind::Havoc: {
+      CfgStmt C;
+      C.Kind = CfgStmtKind::Havoc;
+      C.Vars = S->havocVars();
+      LabelId L = newLabel(std::move(C), S->loc());
+      connect({L});
+      Dangling.push_back(L);
+      return;
+    }
+    case StmtKind::Assume: {
+      CfgStmt C;
+      C.Kind = CfgStmtKind::Assume;
+      C.E = S->condition();
+      LabelId L = newLabel(std::move(C), S->loc());
+      connect({L});
+      Dangling.push_back(L);
+      return;
+    }
+    case StmtKind::Call: {
+      ProcId Callee = Out.findProc(S->callee());
+      assert(Callee != InvalidProc && "call to unknown procedure (checked)");
+      CfgStmt C;
+      C.Kind = CfgStmtKind::Call;
+      C.Callee = Callee;
+      C.Args = S->callArgs();
+      C.Vars = S->callLhs();
+      LabelId L = newLabel(std::move(C), S->loc());
+      connect({L});
+      Dangling.push_back(L);
+      return;
+    }
+    case StmtKind::If: {
+      // Guarded arms: `assume g` / `assume !g`; `*` guards use assume true.
+      CfgStmt ThenStmt, ElseStmt;
+      ThenStmt.Kind = ElseStmt.Kind = CfgStmtKind::Assume;
+      if (const Expr *G = S->guard()) {
+        ThenStmt.E = G;
+        ElseStmt.E = Ctx.tUnary(UnOp::Not, G);
+      } else {
+        ThenStmt.E = Ctx.tBool(true);
+        ElseStmt.E = Ctx.tBool(true);
+      }
+      LabelId ThenEntry = newLabel(std::move(ThenStmt), S->loc());
+      LabelId ElseEntry = newLabel(std::move(ElseStmt), S->loc());
+      connect({ThenEntry, ElseEntry});
+
+      Dangling.push_back(ThenEntry);
+      lowerBlock(S->thenBlock());
+      std::vector<LabelId> ThenExits = std::move(Dangling);
+      Dangling.clear();
+
+      Dangling.push_back(ElseEntry);
+      lowerBlock(S->elseBlock());
+      for (LabelId L : ThenExits)
+        Dangling.push_back(L);
+      return;
+    }
+    case StmtKind::Return: {
+      // A label with no successors; nothing after it connects to it.
+      LabelId L = newLabel(skipStmt(), S->loc());
+      connect({L});
+      // Intentionally do not add L to Dangling: its successor set stays
+      // empty, which is the paper's encoding of returning to the caller.
+      return;
+    }
+    case StmtKind::While:
+    case StmtKind::Assert:
+      assert(false && "run the bounding/instrumentation transforms before "
+                      "CFG lowering");
+      return;
+    }
+  }
+
+  AstContext &Ctx;
+  const Program &Prog;
+  CfgProgram Out;
+  ProcId Current = InvalidProc;
+  std::vector<LabelId> Dangling;
+};
+
+} // namespace
+
+CfgProgram rmt::lowerToCfg(AstContext &Ctx, const Program &Prog) {
+  return Lowering(Ctx, Prog).run();
+}

@@ -1,0 +1,30 @@
+//===- Lower.h - AST to CFG lowering ----------------------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a structured, *bounded* program (no `while`, no `assert`; run the
+/// transforms in src/transform first) to the paper's label form. `if`
+/// branches become nondeterministic successor sets guarded by assumes, and
+/// `return` becomes a label with an empty successor set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_CFG_LOWER_H
+#define RMT_CFG_LOWER_H
+
+#include "ast/AstContext.h"
+#include "ast/Stmt.h"
+#include "cfg/Cfg.h"
+
+namespace rmt {
+
+/// Lowers \p Prog. Requires: type-checked, no While/Assert statements.
+/// The resulting CfgProgram shares expression nodes with \p Ctx.
+CfgProgram lowerToCfg(AstContext &Ctx, const Program &Prog);
+
+} // namespace rmt
+
+#endif // RMT_CFG_LOWER_H

@@ -1,0 +1,139 @@
+//===- Disjoint.cpp -------------------------------------------------------===//
+
+#include "core/Disjoint.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace rmt;
+
+DisjointAnalysis::DisjointAnalysis(const CfgProgram &Prog) : Prog(Prog) {
+  Reach.resize(Prog.Labels.size());
+  // Reach[L] = {L} ∪ ⋃_{T ∈ ts(L)} Reach[T]; compute in reverse topological
+  // order per procedure. This is the quadratic-per-procedure preprocessing
+  // of Section 3.3.
+  for (ProcId P = 0; P < Prog.Procs.size(); ++P) {
+    std::vector<LabelId> Order = Prog.topoOrder(P);
+    for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+      LabelId L = *It;
+      Bitset &Row = Reach[L];
+      Row.set(L);
+      for (LabelId T : Prog.label(L).Targets)
+        Row.orWith(Reach[T]);
+    }
+  }
+}
+
+bool DisjointAnalysis::reaches(LabelId From, LabelId To) const {
+  assert(Prog.procOf(From) == Prog.procOf(To) &&
+         "Disj_blk is defined within one procedure");
+  return Reach[From].test(To);
+}
+
+bool DisjointAnalysis::disjointConfigs(const std::vector<LabelId> &C1,
+                                       const std::vector<LabelId> &C2) const {
+  // Find the longest common suffix.
+  size_t N1 = C1.size(), N2 = C2.size();
+  size_t Common = 0;
+  while (Common < N1 && Common < N2 &&
+         C1[N1 - 1 - Common] == C2[N2 - 1 - Common])
+    ++Common;
+  // Identical or prefix-related stacks can reach one another by popping /
+  // running: never disjoint.
+  if (Common == N1 || Common == N2)
+    return false;
+  LabelId G1 = C1[N1 - 1 - Common];
+  LabelId G2 = C2[N2 - 1 - Common];
+  // Lemma 1: Disj(uγ1w, vγ2w) if Disj_blk(γ1, γ2).
+  return disjointLabels(G1, G2);
+}
+
+//===----------------------------------------------------------------------===//
+// Brute-force oracle over the Section 3.2 transition relation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Γ letter: label id with an "after the statement" flag (the paper's be).
+using Letter = uint32_t;
+Letter letter(LabelId L, bool After) { return (L << 1) | (After ? 1 : 0); }
+
+using Config = std::vector<Letter>; // top of stack first
+
+/// Successors of a configuration under rules 1-4.
+std::vector<Config> successors(const CfgProgram &Prog, const Config &C) {
+  std::vector<Config> Out;
+  if (C.empty())
+    return Out;
+  LabelId B = C.front() >> 1;
+  bool After = C.front() & 1;
+  const CfgLabel &Lbl = Prog.label(B);
+  if (!After) {
+    if (Lbl.Stmt.Kind == CfgStmtKind::Call) {
+      // Rule 2: b u ; init(p) be u.
+      Config Next;
+      Next.push_back(letter(Prog.proc(Lbl.Stmt.Callee).Entry, false));
+      Next.push_back(letter(B, true));
+      Next.insert(Next.end(), C.begin() + 1, C.end());
+      Out.push_back(std::move(Next));
+    } else {
+      // Rule 1: b u ; be u.
+      Config Next = C;
+      Next.front() = letter(B, true);
+      Out.push_back(std::move(Next));
+    }
+    return Out;
+  }
+  if (!Lbl.Targets.empty()) {
+    // Rule 3: be1 u ; b2 u for each successor.
+    for (LabelId T : Lbl.Targets) {
+      Config Next = C;
+      Next.front() = letter(T, false);
+      Out.push_back(std::move(Next));
+    }
+    return Out;
+  }
+  // Rule 4: be u ; u for nonempty u.
+  if (C.size() > 1)
+    Out.push_back(Config(C.begin() + 1, C.end()));
+  return Out;
+}
+
+/// Can \p From reach \p To under ;* ? Bounded BFS.
+bool reachesConfig(const CfgProgram &Prog, const Config &From,
+                   const Config &To, unsigned MaxStates) {
+  std::set<Config> Seen{From};
+  std::vector<Config> Work{From};
+  while (!Work.empty()) {
+    Config C = std::move(Work.back());
+    Work.pop_back();
+    if (C == To)
+      return true;
+    if (Seen.size() > MaxStates)
+      return false; // caller keeps test programs small enough
+    for (Config &S : successors(Prog, C))
+      if (Seen.insert(S).second)
+        Work.push_back(std::move(S));
+  }
+  return false;
+}
+
+Config toConfig(const std::vector<LabelId> &Stack) {
+  Config C;
+  C.reserve(Stack.size());
+  for (size_t I = 0; I < Stack.size(); ++I)
+    C.push_back(letter(Stack[I], /*After=*/I != 0));
+  return C;
+}
+
+} // namespace
+
+bool rmt::bruteForceDisjoint(const CfgProgram &Prog,
+                             const std::vector<LabelId> &C1,
+                             const std::vector<LabelId> &C2,
+                             unsigned MaxStates) {
+  Config A = toConfig(C1), B = toConfig(C2);
+  return !reachesConfig(Prog, A, B, MaxStates) &&
+         !reachesConfig(Prog, B, A, MaxStates);
+}

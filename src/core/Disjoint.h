@@ -1,0 +1,75 @@
+//===- Disjoint.h - Disj_blk tables and configuration disjointness -*- C++ -*-//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.3 of the paper. Two control locations γ1, γ2 of one procedure
+/// satisfy Disj_blk(γ1, γ2) iff there is no intraprocedural path from
+/// Blk(γ1) to Blk(γ2) or back. The tables are computed per procedure by a
+/// quadratic reachability pass ("time quadratic in the size of a single
+/// procedure and linear in the number of procedures"). Lemma 1 then reduces
+/// disjointness of two configurations uγ1w, vγ2w to one table lookup at
+/// their divergence point.
+///
+/// A brute-force oracle over the pushdown transition relation (Section 3.2's
+/// rules 1–4) is provided for differential testing of Lemma 1 and Alg. 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_CORE_DISJOINT_H
+#define RMT_CORE_DISJOINT_H
+
+#include "cfg/Cfg.h"
+#include "support/Bitset.h"
+
+#include <vector>
+
+namespace rmt {
+
+/// Precomputed intraprocedural reachability for every procedure.
+class DisjointAnalysis {
+public:
+  explicit DisjointAnalysis(const CfgProgram &Prog);
+
+  /// True when a (possibly empty) flow path From -> To exists. Both labels
+  /// must belong to the same procedure; reflexive by definition.
+  bool reaches(LabelId From, LabelId To) const;
+
+  /// Disj_blk(A, B): no flow path between A and B in either direction.
+  /// Labels of different procedures are never Disj_blk-comparable; calling
+  /// with such labels is a programming error.
+  bool disjointLabels(LabelId A, LabelId B) const {
+    return !reaches(A, B) && !reaches(B, A);
+  }
+
+  /// Lemma 1 applied to two configurations (call stacks, innermost frame
+  /// first, each entry the *call-site label* of the frame below — the be
+  /// letters of the paper — with the final entry a label in the root).
+  /// Returns true when the configurations are provably disjoint. Identical
+  /// configurations and prefix-related configurations are not disjoint.
+  bool disjointConfigs(const std::vector<LabelId> &C1,
+                       const std::vector<LabelId> &C2) const;
+
+  const CfgProgram &program() const { return Prog; }
+
+private:
+  const CfgProgram &Prog;
+  /// Reach[L] = labels reachable from L (within its procedure), indexed by
+  /// global LabelId. Rows are only as long as needed.
+  std::vector<Bitset> Reach;
+};
+
+/// Brute-force oracle: decides Disj(c1, c2) by exploring the transition
+/// relation of Section 3.2 from each configuration. Configurations use the
+/// explicit (label, after-flag) alphabet Γ. Exponential; tests only.
+///
+/// \p C1, \p C2 use the same encoding as disjointConfigs: innermost frame's
+/// current label first, then the call-site labels of the suspended frames.
+bool bruteForceDisjoint(const CfgProgram &Prog, const std::vector<LabelId> &C1,
+                        const std::vector<LabelId> &C2, unsigned MaxStates);
+
+} // namespace rmt
+
+#endif // RMT_CORE_DISJOINT_H

@@ -1,0 +1,129 @@
+//===- DotExport.cpp ------------------------------------------------------===//
+
+#include "core/DotExport.h"
+
+#include "ast/AstPrinter.h"
+
+#include <map>
+#include <vector>
+
+using namespace rmt;
+
+namespace {
+
+/// DOT string literals need escaping for quotes and backslashes.
+std::string escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string rmt::inliningDagToDot(const AstContext &Ctx,
+                                  const VcContext &Vc) {
+  std::vector<unsigned> InDegree(Vc.numNodes(), 0);
+  for (EdgeId E = 0; E < Vc.numEdges(); ++E)
+    if (!Vc.edge(E).isOpen())
+      ++InDegree[Vc.edge(E).Dest];
+
+  std::string Out = "digraph inlining_dag {\n"
+                    "  rankdir=TB;\n"
+                    "  node [shape=box, fontname=\"monospace\"];\n";
+  for (NodeId N = 0; N < Vc.numNodes(); ++N) {
+    const VcNode &Node = Vc.node(N);
+    std::string Name = Ctx.name(Vc.program().proc(Node.Proc).Name);
+    Out += "  n" + std::to_string(N) + " [label=\"" + escape(Name) + " #" +
+           std::to_string(N) + "\"";
+    if (InDegree[N] > 1)
+      Out += ", style=filled, fillcolor=lightblue"; // a merged instance
+    Out += "];\n";
+  }
+  unsigned OpenCount = 0;
+  for (EdgeId E = 0; E < Vc.numEdges(); ++E) {
+    const VcEdge &Edge = Vc.edge(E);
+    std::string Label = "L" + std::to_string(Edge.CallSite);
+    if (Edge.isOpen()) {
+      // Render the open edge to a placeholder node.
+      std::string Stub = "open" + std::to_string(OpenCount++);
+      Out += "  " + Stub + " [label=\"open: " +
+             escape(Ctx.name(Vc.program().proc(Edge.Callee).Name)) +
+             "\", shape=ellipse, style=dashed];\n";
+      Out += "  n" + std::to_string(Edge.Src) + " -> " + Stub +
+             " [label=\"" + Label + "\", style=dashed];\n";
+      continue;
+    }
+    Out += "  n" + std::to_string(Edge.Src) + " -> n" +
+           std::to_string(Edge.Dest) + " [label=\"" + Label + "\"];\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string rmt::callGraphToDot(const AstContext &Ctx,
+                                const CfgProgram &Prog) {
+  std::string Out = "digraph call_graph {\n  node [shape=box];\n";
+  for (ProcId P = 0; P < Prog.Procs.size(); ++P)
+    Out += "  p" + std::to_string(P) + " [label=\"" +
+           escape(Ctx.name(Prog.proc(P).Name)) + "\"];\n";
+  for (ProcId P = 0; P < Prog.Procs.size(); ++P) {
+    std::map<ProcId, unsigned> Multiplicity;
+    for (ProcId C : Prog.calleesOf(P))
+      ++Multiplicity[C];
+    for (const auto &[Callee, Count] : Multiplicity) {
+      Out += "  p" + std::to_string(P) + " -> p" + std::to_string(Callee);
+      if (Count > 1)
+        Out += " [label=\"x" + std::to_string(Count) + "\"]";
+      Out += ";\n";
+    }
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string rmt::cfgToDot(const AstContext &Ctx, const CfgProgram &Prog,
+                          ProcId P) {
+  const CfgProc &Proc = Prog.proc(P);
+  std::string Out = "digraph cfg_" + Ctx.name(Proc.Name) +
+                    " {\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (LabelId L : Proc.Labels) {
+    const CfgLabel &Lbl = Prog.label(L);
+    std::string Text = "L" + std::to_string(L) + ": ";
+    switch (Lbl.Stmt.Kind) {
+    case CfgStmtKind::Assume:
+      Text += "assume " + printExpr(Ctx, Lbl.Stmt.E);
+      break;
+    case CfgStmtKind::Assign:
+      Text += Ctx.name(Lbl.Stmt.Target) + " := " +
+              printExpr(Ctx, Lbl.Stmt.E);
+      break;
+    case CfgStmtKind::Havoc:
+      Text += "havoc";
+      break;
+    case CfgStmtKind::Call:
+      Text += "call " + Ctx.name(Prog.proc(Lbl.Stmt.Callee).Name);
+      break;
+    }
+    Out += "  l" + std::to_string(L) + " [label=\"" + escape(Text) + "\"";
+    if (L == Proc.Entry)
+      Out += ", style=bold";
+    if (Lbl.Targets.empty())
+      Out += ", peripheries=2"; // exit label
+    Out += "];\n";
+  }
+  for (LabelId L : Proc.Labels)
+    for (LabelId T : Prog.label(L).Targets)
+      Out += "  l" + std::to_string(L) + " -> l" + std::to_string(T) +
+             ";\n";
+  Out += "}\n";
+  return Out;
+}

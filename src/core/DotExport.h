@@ -1,0 +1,39 @@
+//===- DotExport.h - Graphviz rendering of verifier structures --*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz (DOT) renderers for the three graphs the paper draws: the
+/// program call graph, a procedure's control-flow graph, and — the paper's
+/// Figs. 1(b)/1(c)/11 — the inlining tree/DAG built by Gen_VC. Useful for
+/// debugging merge decisions and for documentation; `hbpl_verify
+/// --dump-dag` emits the last one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_CORE_DOTEXPORT_H
+#define RMT_CORE_DOTEXPORT_H
+
+#include "core/VcGen.h"
+
+#include <string>
+
+namespace rmt {
+
+/// The inlining DAG: one node per dynamic procedure instance, solid edges
+/// for bound calls (labelled with their call site), dashed edges for open
+/// calls. Merged nodes (in-degree > 1) are highlighted.
+std::string inliningDagToDot(const AstContext &Ctx, const VcContext &Vc);
+
+/// The static call graph of \p Prog (edge multiplicity = #call sites).
+std::string callGraphToDot(const AstContext &Ctx, const CfgProgram &Prog);
+
+/// The flow graph of one procedure, one node per label.
+std::string cfgToDot(const AstContext &Ctx, const CfgProgram &Prog,
+                     ProcId P);
+
+} // namespace rmt
+
+#endif // RMT_CORE_DOTEXPORT_H

@@ -1,0 +1,283 @@
+//===- Engine.cpp ---------------------------------------------------------===//
+
+#include "core/Engine.h"
+
+#include "smt/Z3Solver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rmt;
+
+const char *rmt::verdictName(Verdict V) {
+  switch (V) {
+  case Verdict::Bug:
+    return "bug";
+  case Verdict::Safe:
+    return "safe";
+  case Verdict::Timeout:
+    return "timeout";
+  case Verdict::ResourceOut:
+    return "resourceout";
+  case Verdict::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+class Engine {
+public:
+  Engine(const AstContext &Ctx, const CfgProgram &Prog, ProcId Entry,
+         std::optional<Symbol> ErrGlobal, const EngineOptions &Opts)
+      : Ctx(Ctx), Prog(Prog), Entry(Entry), ErrGlobal(ErrGlobal), Opts(Opts),
+        Budget(Opts.TimeoutSeconds), Solver(createZ3Solver(Arena)),
+        Vc(Ctx, Prog, Arena, [this](TermRef T) { Solver->assertTerm(T); },
+           Opts.Pvc),
+        Disj(Prog), Checker(Vc, Disj),
+        Strategy(createStrategy(Opts.Strategy, Prog, Disj, Entry)) {}
+
+  VerifyResult run() {
+    NodeId Root = Vc.genPvc(Entry);
+    Checker.onNewNode(Root);
+    Strategy->noteNewNode(Root, InvalidEdge);
+
+    // Line 28: Push(Control[Root]); plus the error-bit query.
+    Solver->assertTerm(Vc.node(Root).Control);
+    if (ErrGlobal)
+      Solver->assertTerm(errOutTerm(Root));
+
+    if (Opts.Eager)
+      runEager(Root);
+    else
+      runStratified(Root);
+    return finish();
+  }
+
+private:
+  /// The Out-interface term of the error-bit global of \p N (a boolean
+  /// constant; asserting it requires the error to be set on exit).
+  TermRef errOutTerm(NodeId N) {
+    assert(ErrGlobal && "no error global configured");
+    for (size_t I = 0; I < Prog.Globals.size(); ++I)
+      if (Prog.Globals[I].Name == *ErrGlobal)
+        return Vc.node(N).Out[I];
+    assert(false && "error global not found in program globals");
+    return TermRef();
+  }
+
+  VerifyResult finish() {
+    Result.Seconds = Budget.elapsed();
+    Result.NumInlined = Vc.numInlined();
+    Result.NumSolverChecks = Solver->numChecks();
+    Result.NumDisjQueries = Checker.numDisjQueries();
+    return Result;
+  }
+
+  bool outOfTime() {
+    if (!Budget.expired())
+      return false;
+    Result.Outcome = Verdict::Timeout;
+    return true;
+  }
+
+  bool overInlineLimit() {
+    if (Vc.numInlined() <= Opts.MaxInlined)
+      return false;
+    Result.Outcome = Verdict::ResourceOut;
+    return true;
+  }
+
+  /// Resolves open edge \p C: ask the strategy for a compatible node, else
+  /// inline a fresh copy; bind either way.
+  void resolveEdge(EdgeId C) {
+    Stopwatch PickWatch;
+    std::optional<NodeId> Picked = Strategy->pick(Vc, Checker, C);
+    Result.MergeLookupSeconds += PickWatch.seconds();
+
+    NodeId N;
+    if (Picked) {
+      assert(Checker.canBind(C, *Picked) &&
+             "strategy returned an incompatible node");
+      N = *Picked;
+      ++Result.NumMerged;
+    } else {
+      N = Vc.genPvc(Vc.edge(C).Callee);
+      Checker.onNewNode(N);
+      Strategy->noteNewNode(N, C);
+    }
+    Vc.bindEdge(C, N);
+    Checker.onBind(C, N);
+  }
+
+  void runEager(NodeId /*Root*/) {
+    // Fully unfold: FIFO over open edges.
+    while (!Vc.openEdges().empty()) {
+      if (outOfTime() || overInlineLimit())
+        return;
+      resolveEdge(Vc.openEdges().front());
+    }
+    Result.NumIterations = 1;
+    if (Opts.SkipSolve)
+      return; // size-only run; Outcome stays Unknown by design
+    switch (Solver->check({}, Budget.enabled() ? Budget.remaining() : 0)) {
+    case SolveResult::Sat:
+      Result.Outcome = Verdict::Bug;
+      extractTrace();
+      return;
+    case SolveResult::Unsat:
+      Result.Outcome = Verdict::Safe;
+      return;
+    case SolveResult::Unknown:
+      Result.Outcome = Budget.expired() ? Verdict::Timeout : Verdict::Unknown;
+      return;
+    }
+  }
+
+  void runStratified(NodeId /*Root*/) {
+    for (;;) {
+      ++Result.NumIterations;
+      if (outOfTime() || overInlineLimit())
+        return;
+
+      // Under-approximate check: block every open call. A model is an
+      // execution entirely within the inlined region — a real bug.
+      std::vector<TermRef> Blocked;
+      for (EdgeId E : Vc.openEdges())
+        Blocked.push_back(Arena.mkNot(Vc.edge(E).Control));
+      switch (Solver->check(Blocked, checkBudget())) {
+      case SolveResult::Sat:
+        Result.Outcome = Verdict::Bug;
+        extractTrace();
+        return;
+      case SolveResult::Unsat:
+        break;
+      case SolveResult::Unknown:
+        Result.Outcome =
+            Budget.expired() ? Verdict::Timeout : Verdict::Unknown;
+        return;
+      }
+
+      // Fully inlined and under-approximation unsat: exact answer.
+      if (Vc.openEdges().empty()) {
+        Result.Outcome = Verdict::Safe;
+        return;
+      }
+
+      // Over-approximate check: open calls stay havoc summaries. Unsat here
+      // proves safety without further inlining (SI's early stop).
+      switch (Solver->check({}, checkBudget())) {
+      case SolveResult::Unsat:
+        Result.Outcome = Verdict::Safe;
+        return;
+      case SolveResult::Unknown:
+        Result.Outcome =
+            Budget.expired() ? Verdict::Timeout : Verdict::Unknown;
+        return;
+      case SolveResult::Sat:
+        break;
+      }
+
+      // Inline the frontier: open edges the abstract counterexample enters.
+      std::vector<EdgeId> Frontier;
+      for (EdgeId E : Vc.openEdges())
+        if (Solver->modelBool(Vc.edge(E).Control))
+          Frontier.push_back(E);
+      assert(!Frontier.empty() &&
+             "over-approximate model avoiding all open calls would have "
+             "satisfied the under-approximate check");
+      for (EdgeId E : Frontier) {
+        if (outOfTime() || overInlineLimit())
+          return;
+        resolveEdge(E);
+      }
+    }
+  }
+
+  /// Per-check solver timeout from the remaining wall budget.
+  double checkBudget() {
+    if (!Budget.enabled())
+      return 0;
+    double Left = Budget.remaining();
+    return Left < 0.001 ? 0.001 : Left;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Trace reconstruction
+  //===--------------------------------------------------------------------===//
+
+  void extractTrace() { traceNode(0); }
+
+  void traceNode(NodeId N) {
+    const VcNode &Node = Vc.node(N);
+    // Guard against pathological model shapes; flow graphs are acyclic so
+    // |labels| steps suffice.
+    size_t Fuel = Prog.proc(Node.Proc).Labels.size() + 1;
+    LabelId Y = Node.Entry;
+    if (!Solver->modelBool(Node.BlockConst.at(Y)))
+      return;
+    while (Fuel--) {
+      TraceStep Step{Node.Proc, Y, Prog.label(Y).Loc, {}};
+      // Capture the globals' model values at this label's entry state.
+      const VarTermMap &Vars = Node.VarsAt.at(Y);
+      Step.GlobalValues.reserve(Prog.Globals.size());
+      for (const VarDecl &G : Prog.Globals) {
+        TermRef T = Vars.at(G.Name);
+        if (G.Ty->isBool())
+          Step.GlobalValues.push_back(Solver->modelBool(T) ? 1 : 0);
+        else if (G.Ty->isInt() || G.Ty->isBv())
+          Step.GlobalValues.push_back(Solver->modelInt(T));
+        else
+          Step.GlobalValues.push_back(0); // arrays are not rendered
+      }
+      Result.Trace.push_back(std::move(Step));
+      const CfgLabel &Lbl = Prog.label(Y);
+      if (Lbl.Stmt.Kind == CfgStmtKind::Call) {
+        // Control[edge] equals BS[Y]; if the edge is bound and taken,
+        // descend into the callee instance.
+        for (EdgeId E : Node.OutEdges) {
+          const VcEdge &Edge = Vc.edge(E);
+          if (Edge.CallSite == Y && !Edge.isOpen() &&
+              Solver->modelBool(Edge.Control)) {
+            traceNode(Edge.Dest);
+            break;
+          }
+        }
+      }
+      LabelId Next = InvalidLabel;
+      for (LabelId T : Lbl.Targets)
+        if (Solver->modelBool(Node.BlockConst.at(T))) {
+          Next = T;
+          break;
+        }
+      if (Next == InvalidLabel)
+        return; // procedure exit
+      Y = Next;
+    }
+  }
+
+  const AstContext &Ctx;
+  const CfgProgram &Prog;
+  ProcId Entry;
+  std::optional<Symbol> ErrGlobal;
+  const EngineOptions &Opts;
+  Deadline Budget;
+  TermArena Arena;
+  std::unique_ptr<rmt::Solver> Solver;
+  VcContext Vc;
+  DisjointAnalysis Disj;
+  ConsistencyChecker Checker;
+  std::unique_ptr<MergeStrategy> Strategy;
+  VerifyResult Result;
+};
+
+} // namespace
+
+VerifyResult rmt::solveReachability(const AstContext &Ctx,
+                                    const CfgProgram &Prog, ProcId Entry,
+                                    std::optional<Symbol> ErrGlobal,
+                                    const EngineOptions &Opts) {
+  Engine E(Ctx, Prog, Entry, ErrGlobal, Opts);
+  return E.run();
+}

@@ -1,0 +1,345 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace rmt;
+
+const char *rmt::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Error:
+    return "invalid token";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::BvLit:
+    return "bitvector literal";
+  case TokKind::KwVar:
+    return "'var'";
+  case TokKind::KwProcedure:
+    return "'procedure'";
+  case TokKind::KwReturns:
+    return "'returns'";
+  case TokKind::KwCall:
+    return "'call'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwThen:
+    return "'then'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwHavoc:
+    return "'havoc'";
+  case TokKind::KwAssume:
+    return "'assume'";
+  case TokKind::KwAssert:
+    return "'assert'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwBool:
+    return "'bool'";
+  case TokKind::KwDiv:
+    return "'div'";
+  case TokKind::KwMod:
+    return "'mod'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Assign:
+    return "':='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::Implies:
+    return "'==>'";
+  case TokKind::Iff:
+    return "'<==>'";
+  case TokKind::Bang:
+    return "'!'";
+  }
+  return "<unknown token>";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokKind> Keywords = {
+    {"var", TokKind::KwVar},       {"procedure", TokKind::KwProcedure},
+    {"returns", TokKind::KwReturns}, {"call", TokKind::KwCall},
+    {"if", TokKind::KwIf},         {"then", TokKind::KwThen},
+    {"else", TokKind::KwElse},     {"while", TokKind::KwWhile},
+    {"havoc", TokKind::KwHavoc},   {"assume", TokKind::KwAssume},
+    {"assert", TokKind::KwAssert}, {"return", TokKind::KwReturn},
+    {"true", TokKind::KwTrue},     {"false", TokKind::KwFalse},
+    {"int", TokKind::KwInt},       {"bool", TokKind::KwBool},
+    {"div", TokKind::KwDiv},       {"mod", TokKind::KwMod},
+};
+
+class LexerImpl {
+public:
+  LexerImpl(std::string_view Source, DiagEngine &Diags)
+      : Src(Source), Diags(Diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Out;
+    for (;;) {
+      Token T = next();
+      Out.push_back(T);
+      if (T.is(TokKind::Eof))
+        return Out;
+    }
+  }
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  void skipTrivia() {
+    for (;;) {
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (peek() != '\n' && peek() != '\0')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        SrcLoc Start = loc();
+        advance();
+        advance();
+        while (!(peek() == '*' && peek(1) == '/')) {
+          if (peek() == '\0') {
+            Diags.error(Start, "unterminated block comment");
+            return;
+          }
+          advance();
+        }
+        advance();
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  SrcLoc loc() const { return {Line, Col}; }
+
+  Token make(TokKind Kind, size_t Start, SrcLoc Loc) {
+    return {Kind, Src.substr(Start, Pos - Start), Loc, 0};
+  }
+
+  Token next() {
+    skipTrivia();
+    SrcLoc Loc = loc();
+    size_t Start = Pos;
+    if (Pos >= Src.size())
+      return {TokKind::Eof, {}, Loc, 0};
+
+    char C = advance();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$') {
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_' || peek() == '$' || peek() == '#' || peek() == '.')
+        advance();
+      std::string_view Text = Src.substr(Start, Pos - Start);
+      auto It = Keywords.find(Text);
+      if (It != Keywords.end())
+        return {It->second, Text, Loc, 0};
+      return {TokKind::Ident, Text, Loc, 0};
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+      size_t DigitsEnd = Pos;
+      // Bitvector literal suffix: 255bv8.
+      bool IsBv = false;
+      if (peek() == 'b' && peek(1) == 'v' &&
+          std::isdigit(static_cast<unsigned char>(peek(2)))) {
+        IsBv = true;
+        advance();
+        advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          advance();
+      }
+      Token T = make(IsBv ? TokKind::BvLit : TokKind::IntLit, Start, Loc);
+      std::string_view Digits = Src.substr(Start, DigitsEnd - Start);
+      // The grammar has no sign on literals; 19 digits always fit int64.
+      if (Digits.size() > 18) {
+        Diags.error(Loc, "integer literal too large");
+        T.Kind = TokKind::Error;
+        return T;
+      }
+      int64_t Value = 0;
+      for (char D : Digits)
+        Value = Value * 10 + (D - '0');
+      T.IntValue = Value;
+      if (IsBv) {
+        unsigned Width = 0;
+        for (size_t I = DigitsEnd + 2 - Start; I < T.Text.size(); ++I)
+          Width = Width * 10 + static_cast<unsigned>(T.Text[I] - '0');
+        if (Width < 1 || Width > 64) {
+          Diags.error(Loc, "bitvector width must be between 1 and 64");
+          T.Kind = TokKind::Error;
+          return T;
+        }
+        T.BvWidth = Width;
+      }
+      return T;
+    }
+
+    switch (C) {
+    case '(':
+      return make(TokKind::LParen, Start, Loc);
+    case ')':
+      return make(TokKind::RParen, Start, Loc);
+    case '{':
+      return make(TokKind::LBrace, Start, Loc);
+    case '}':
+      return make(TokKind::RBrace, Start, Loc);
+    case '[':
+      return make(TokKind::LBracket, Start, Loc);
+    case ']':
+      return make(TokKind::RBracket, Start, Loc);
+    case ';':
+      return make(TokKind::Semi, Start, Loc);
+    case ',':
+      return make(TokKind::Comma, Start, Loc);
+    case '+':
+      return make(TokKind::Plus, Start, Loc);
+    case '-':
+      return make(TokKind::Minus, Start, Loc);
+    case '*':
+      return make(TokKind::Star, Start, Loc);
+    case ':':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Assign, Start, Loc);
+      }
+      return make(TokKind::Colon, Start, Loc);
+    case '=':
+      if (peek() == '=' && peek(1) == '>') {
+        advance();
+        advance();
+        return make(TokKind::Implies, Start, Loc);
+      }
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::EqEq, Start, Loc);
+      }
+      break;
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::NotEq, Start, Loc);
+      }
+      return make(TokKind::Bang, Start, Loc);
+    case '<':
+      if (peek() == '=' && peek(1) == '=' && peek(2) == '>') {
+        advance();
+        advance();
+        advance();
+        return make(TokKind::Iff, Start, Loc);
+      }
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Le, Start, Loc);
+      }
+      return make(TokKind::Lt, Start, Loc);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(TokKind::Ge, Start, Loc);
+      }
+      return make(TokKind::Gt, Start, Loc);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(TokKind::AmpAmp, Start, Loc);
+      }
+      break;
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(TokKind::PipePipe, Start, Loc);
+      }
+      break;
+    default:
+      break;
+    }
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return make(TokKind::Error, Start, Loc);
+  }
+
+  std::string_view Src;
+  DiagEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+} // namespace
+
+std::vector<Token> rmt::lex(std::string_view Source, DiagEngine &Diags) {
+  return LexerImpl(Source, Diags).run();
+}

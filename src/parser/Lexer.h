@@ -1,0 +1,99 @@
+//===- Lexer.h - Tokenizer for .hbpl ----------------------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the mini-Boogie surface syntax. Line comments (`//`) and
+/// block comments (`/* */`) are skipped. Unknown characters produce an Error
+/// token and a diagnostic, and lexing continues.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_PARSER_LEXER_H
+#define RMT_PARSER_LEXER_H
+
+#include "support/Diag.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rmt {
+
+/// Token kinds.
+enum class TokKind {
+  Eof,
+  Error,
+  Ident,
+  IntLit,
+  BvLit, ///< e.g. 255bv8: IntValue holds the bits, BvWidth the width
+  // Keywords.
+  KwVar,
+  KwProcedure,
+  KwReturns,
+  KwCall,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwWhile,
+  KwHavoc,
+  KwAssume,
+  KwAssert,
+  KwReturn,
+  KwTrue,
+  KwFalse,
+  KwInt,
+  KwBool,
+  KwDiv,
+  KwMod,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Colon,
+  Semi,
+  Comma,
+  Assign,  // :=
+  Plus,
+  Minus,
+  Star,
+  EqEq,    // ==
+  NotEq,   // !=
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  AmpAmp,  // &&
+  PipePipe,// ||
+  Implies, // ==>
+  Iff,     // <==>
+  Bang,    // !
+};
+
+/// One token. Text views into the source buffer handed to the Lexer; the
+/// buffer must outlive the tokens.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string_view Text;
+  SrcLoc Loc;
+  int64_t IntValue = 0;
+  unsigned BvWidth = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// Human-readable name of a token kind, for diagnostics.
+const char *tokKindName(TokKind Kind);
+
+/// Tokenizes \p Source completely; always ends with an Eof token.
+std::vector<Token> lex(std::string_view Source, DiagEngine &Diags);
+
+} // namespace rmt
+
+#endif // RMT_PARSER_LEXER_H

@@ -1,0 +1,37 @@
+//===- Parser.h - Recursive-descent parser for .hbpl ------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses `.hbpl` source into an untyped AST. Pair with typecheck() from
+/// TypeCheck.h before handing the program to the transforms or engines.
+/// parseAndCheck() bundles both phases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_PARSER_PARSER_H
+#define RMT_PARSER_PARSER_H
+
+#include "ast/AstContext.h"
+#include "ast/Stmt.h"
+#include "support/Diag.h"
+
+#include <optional>
+#include <string_view>
+
+namespace rmt {
+
+/// Parses \p Source. On syntax errors returns std::nullopt, with the details
+/// in \p Diags. The returned Program's nodes live in \p Ctx and are untyped.
+std::optional<Program> parseProgram(std::string_view Source, AstContext &Ctx,
+                                    DiagEngine &Diags);
+
+/// Parses and type-checks \p Source; nullopt on any error.
+std::optional<Program> parseAndCheck(std::string_view Source, AstContext &Ctx,
+                                     DiagEngine &Diags);
+
+} // namespace rmt
+
+#endif // RMT_PARSER_PARSER_H

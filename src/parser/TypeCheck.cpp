@@ -1,0 +1,335 @@
+//===- TypeCheck.cpp ------------------------------------------------------===//
+
+#include "parser/TypeCheck.h"
+
+#include <unordered_map>
+
+using namespace rmt;
+
+namespace {
+
+class Checker {
+public:
+  Checker(AstContext &Ctx, Program &Prog, DiagEngine &Diags)
+      : Ctx(Ctx), Prog(Prog), Diags(Diags) {}
+
+  bool run() {
+    collectTopLevel();
+    for (Procedure &P : Prog.Procedures)
+      checkProcedure(P);
+    return !Diags.hasErrors();
+  }
+
+private:
+  void error(SrcLoc Loc, const std::string &Message) {
+    Diags.error(Loc, Message);
+  }
+
+  void collectTopLevel() {
+    for (const VarDecl &G : Prog.Globals) {
+      if (!GlobalScope.emplace(G.Name, G.Ty).second)
+        error(G.Loc, "duplicate global '" + Ctx.name(G.Name) + "'");
+    }
+    for (const Procedure &P : Prog.Procedures) {
+      if (!Procs.emplace(P.Name, &P).second)
+        error(P.Loc, "duplicate procedure '" + Ctx.name(P.Name) + "'");
+    }
+  }
+
+  void declareLocal(const VarDecl &D, const char *What) {
+    if (!LocalScope.emplace(D.Name, D.Ty).second)
+      error(D.Loc, std::string("duplicate ") + What + " '" +
+                       Ctx.name(D.Name) + "'");
+  }
+
+  const Type *lookupVar(Symbol Name) const {
+    auto It = LocalScope.find(Name);
+    if (It != LocalScope.end())
+      return It->second;
+    auto GIt = GlobalScope.find(Name);
+    if (GIt != GlobalScope.end())
+      return GIt->second;
+    return nullptr;
+  }
+
+  void checkProcedure(const Procedure &P) {
+    LocalScope.clear();
+    for (const VarDecl &D : P.Params)
+      declareLocal(D, "parameter");
+    for (const VarDecl &D : P.Returns)
+      declareLocal(D, "return variable");
+    for (const VarDecl &D : P.Locals)
+      declareLocal(D, "local");
+    checkBlock(P.Body);
+  }
+
+  void checkBlock(const std::vector<const Stmt *> &Block) {
+    for (const Stmt *S : Block)
+      checkStmt(S);
+  }
+
+  void checkStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::Assign: {
+      const Type *TargetTy = lookupVar(S->assignTarget());
+      if (!TargetTy) {
+        error(S->loc(), "assignment to undeclared variable '" +
+                            Ctx.name(S->assignTarget()) + "'");
+        return;
+      }
+      const Type *ValueTy = checkExpr(S->assignValue());
+      if (ValueTy && ValueTy != TargetTy)
+        error(S->loc(), "assignment type mismatch: variable has type " +
+                            TargetTy->str() + ", value has type " +
+                            ValueTy->str());
+      return;
+    }
+    case StmtKind::Havoc:
+      for (Symbol Var : S->havocVars())
+        if (!lookupVar(Var))
+          error(S->loc(), "havoc of undeclared variable '" + Ctx.name(Var) +
+                              "'");
+      return;
+    case StmtKind::Assume:
+    case StmtKind::Assert: {
+      const Type *Ty = checkExpr(S->condition());
+      if (Ty && !Ty->isBool())
+        error(S->loc(), std::string(S->kind() == StmtKind::Assume
+                                        ? "assume"
+                                        : "assert") +
+                            " condition must be bool, got " + Ty->str());
+      return;
+    }
+    case StmtKind::Call:
+      checkCall(S);
+      return;
+    case StmtKind::If: {
+      if (S->guard()) {
+        const Type *Ty = checkExpr(S->guard());
+        if (Ty && !Ty->isBool())
+          error(S->loc(), "branch guard must be bool, got " + Ty->str());
+      }
+      checkBlock(S->thenBlock());
+      checkBlock(S->elseBlock());
+      return;
+    }
+    case StmtKind::While: {
+      if (S->guard()) {
+        const Type *Ty = checkExpr(S->guard());
+        if (Ty && !Ty->isBool())
+          error(S->loc(), "loop guard must be bool, got " + Ty->str());
+      }
+      checkBlock(S->loopBody());
+      return;
+    }
+    case StmtKind::Return:
+      return;
+    }
+  }
+
+  void checkCall(const Stmt *S) {
+    auto It = Procs.find(S->callee());
+    if (It == Procs.end()) {
+      error(S->loc(), "call to undefined procedure '" +
+                          Ctx.name(S->callee()) + "'");
+      // Still check the arguments so their errors are reported.
+      for (const Expr *A : S->callArgs())
+        checkExpr(A);
+      return;
+    }
+    const Procedure &Callee = *It->second;
+    if (S->callArgs().size() != Callee.Params.size()) {
+      error(S->loc(), "call to '" + Ctx.name(S->callee()) + "' passes " +
+                          std::to_string(S->callArgs().size()) +
+                          " arguments, procedure takes " +
+                          std::to_string(Callee.Params.size()));
+    }
+    for (size_t I = 0; I < S->callArgs().size(); ++I) {
+      const Type *ArgTy = checkExpr(S->callArgs()[I]);
+      if (I < Callee.Params.size() && ArgTy &&
+          ArgTy != Callee.Params[I].Ty)
+        error(S->callArgs()[I]->loc(),
+              "argument " + std::to_string(I + 1) + " has type " +
+                  ArgTy->str() + ", parameter '" +
+                  Ctx.name(Callee.Params[I].Name) + "' has type " +
+                  Callee.Params[I].Ty->str());
+    }
+    if (S->callLhs().size() != Callee.Returns.size()) {
+      error(S->loc(), "call to '" + Ctx.name(S->callee()) + "' binds " +
+                          std::to_string(S->callLhs().size()) +
+                          " results, procedure returns " +
+                          std::to_string(Callee.Returns.size()));
+      return;
+    }
+    for (size_t I = 0; I < S->callLhs().size(); ++I) {
+      const Type *LhsTy = lookupVar(S->callLhs()[I]);
+      if (!LhsTy) {
+        error(S->loc(), "call result bound to undeclared variable '" +
+                            Ctx.name(S->callLhs()[I]) + "'");
+        continue;
+      }
+      if (LhsTy != Callee.Returns[I].Ty)
+        error(S->loc(), "call result " + std::to_string(I + 1) +
+                            " has type " + Callee.Returns[I].Ty->str() +
+                            ", bound to variable of type " + LhsTy->str());
+    }
+    for (size_t I = 0; I < S->callLhs().size(); ++I)
+      for (size_t J = I + 1; J < S->callLhs().size(); ++J)
+        if (S->callLhs()[I] == S->callLhs()[J])
+          error(S->loc(), "variable '" + Ctx.name(S->callLhs()[I]) +
+                              "' bound twice in call results");
+  }
+
+  /// Checks \p CE and returns its type, or null after reporting an error.
+  /// The parser produces untyped nodes owned by our AstContext; annotating
+  /// them here is the one sanctioned mutation of const Expr nodes.
+  const Type *checkExpr(const Expr *CE) {
+    Expr *E = const_cast<Expr *>(CE);
+    const Type *Ty = computeType(E);
+    if (Ty)
+      E->setType(Ty);
+    return Ty;
+  }
+
+  const Type *computeType(Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+      // Bitvector literals arrive pre-typed from the parser.
+      if (E->type() && E->type()->isBv())
+        return E->type();
+      return Ctx.intType();
+    case ExprKind::BoolLit:
+      return Ctx.boolType();
+    case ExprKind::Var: {
+      const Type *Ty = lookupVar(E->var());
+      if (!Ty)
+        error(E->loc(), "use of undeclared variable '" + Ctx.name(E->var()) +
+                            "'");
+      return Ty;
+    }
+    case ExprKind::Unary: {
+      const Type *Sub = checkExpr(E->op0());
+      if (!Sub)
+        return nullptr;
+      if (E->unOp() == UnOp::Not) {
+        if (!Sub->isBool()) {
+          error(E->loc(), "'!' needs a bool operand, got " + Sub->str());
+          return nullptr;
+        }
+        return Ctx.boolType();
+      }
+      if (!Sub->isInt() && !Sub->isBv()) {
+        error(E->loc(), "unary '-' needs an int or bitvector operand, got " +
+                            Sub->str());
+        return nullptr;
+      }
+      return Sub;
+    }
+    case ExprKind::Binary: {
+      const Type *L = checkExpr(E->op0());
+      const Type *R = checkExpr(E->op1());
+      if (!L || !R)
+        return nullptr;
+      BinOp Op = E->binOp();
+      if (isArithOp(Op)) {
+        bool BothInt = L->isInt() && R->isInt();
+        bool BothSameBv = L->isBv() && L == R;
+        if (!BothInt && !BothSameBv) {
+          error(E->loc(), std::string("'") + spelling(Op) +
+                              "' needs int or equal-width bitvector "
+                              "operands, got " +
+                              L->str() + " and " + R->str());
+          return nullptr;
+        }
+        return isPredicateOp(Op) ? Ctx.boolType() : L;
+      }
+      if (isLogicalOp(Op)) {
+        if (!L->isBool() || !R->isBool()) {
+          error(E->loc(), std::string("'") + spelling(Op) +
+                              "' needs bool operands, got " + L->str() +
+                              " and " + R->str());
+          return nullptr;
+        }
+        return Ctx.boolType();
+      }
+      // Eq / Ne apply at any type, but both sides must agree.
+      if (L != R) {
+        error(E->loc(), std::string("'") + spelling(Op) +
+                            "' needs operands of the same type, got " +
+                            L->str() + " and " + R->str());
+        return nullptr;
+      }
+      return Ctx.boolType();
+    }
+    case ExprKind::Ite: {
+      const Type *C = checkExpr(E->op0());
+      const Type *T = checkExpr(E->op1());
+      const Type *F = checkExpr(E->op2());
+      if (!C || !T || !F)
+        return nullptr;
+      if (!C->isBool()) {
+        error(E->loc(), "conditional guard must be bool, got " + C->str());
+        return nullptr;
+      }
+      if (T != F) {
+        error(E->loc(), "conditional arms must have the same type, got " +
+                            T->str() + " and " + F->str());
+        return nullptr;
+      }
+      return T;
+    }
+    case ExprKind::Select: {
+      const Type *Arr = checkExpr(E->op0());
+      const Type *Idx = checkExpr(E->op1());
+      if (!Arr || !Idx)
+        return nullptr;
+      if (!Arr->isArray()) {
+        error(E->loc(), "indexing a non-array of type " + Arr->str());
+        return nullptr;
+      }
+      if (Idx != Arr->indexType()) {
+        error(E->loc(), "index has type " + Idx->str() + ", expected " +
+                            Arr->indexType()->str());
+        return nullptr;
+      }
+      return Arr->elementType();
+    }
+    case ExprKind::Store: {
+      const Type *Arr = checkExpr(E->op0());
+      const Type *Idx = checkExpr(E->op1());
+      const Type *Val = checkExpr(E->op2());
+      if (!Arr || !Idx || !Val)
+        return nullptr;
+      if (!Arr->isArray()) {
+        error(E->loc(), "storing into a non-array of type " + Arr->str());
+        return nullptr;
+      }
+      if (Idx != Arr->indexType()) {
+        error(E->loc(), "index has type " + Idx->str() + ", expected " +
+                            Arr->indexType()->str());
+        return nullptr;
+      }
+      if (Val != Arr->elementType()) {
+        error(E->loc(), "stored value has type " + Val->str() +
+                            ", expected " + Arr->elementType()->str());
+        return nullptr;
+      }
+      return Arr;
+    }
+    }
+    return nullptr;
+  }
+
+  AstContext &Ctx;
+  Program &Prog;
+  DiagEngine &Diags;
+  std::unordered_map<Symbol, const Type *> GlobalScope;
+  std::unordered_map<Symbol, const Type *> LocalScope;
+  std::unordered_map<Symbol, const Procedure *> Procs;
+};
+
+} // namespace
+
+bool rmt::typecheck(AstContext &Ctx, Program &Prog, DiagEngine &Diags) {
+  return Checker(Ctx, Prog, Diags).run();
+}

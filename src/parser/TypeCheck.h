@@ -1,0 +1,29 @@
+//===- TypeCheck.h - Name resolution and type checking ----------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resolves names and checks types over a parsed Program, annotating every
+/// expression with its type. All later phases (transforms, CFG lowering, VC
+/// generation, the evaluator) assume a checked program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_PARSER_TYPECHECK_H
+#define RMT_PARSER_TYPECHECK_H
+
+#include "ast/AstContext.h"
+#include "ast/Stmt.h"
+#include "support/Diag.h"
+
+namespace rmt {
+
+/// Checks \p Prog; reports problems into \p Diags. Returns true when the
+/// program is well-formed. Expression nodes are annotated in place.
+bool typecheck(AstContext &Ctx, Program &Prog, DiagEngine &Diags);
+
+} // namespace rmt
+
+#endif // RMT_PARSER_TYPECHECK_H

@@ -1,0 +1,182 @@
+//===- SmtLibPrinter.cpp --------------------------------------------------===//
+
+#include "smt/SmtLibPrinter.h"
+
+#include <unordered_set>
+
+using namespace rmt;
+
+namespace {
+
+const char *opName(TermOp Op, bool Bv) {
+  if (Bv) {
+    switch (Op) {
+    case TermOp::Lt:
+      return "bvult";
+    case TermOp::Le:
+      return "bvule";
+    case TermOp::Neg:
+      return "bvneg";
+    case TermOp::Add:
+      return "bvadd";
+    case TermOp::Sub:
+      return "bvsub";
+    case TermOp::Mul:
+      return "bvmul";
+    case TermOp::Div:
+      return "bvudiv";
+    case TermOp::Mod:
+      return "bvurem";
+    default:
+      break;
+    }
+  }
+  switch (Op) {
+  case TermOp::Not:
+    return "not";
+  case TermOp::And:
+    return "and";
+  case TermOp::Or:
+    return "or";
+  case TermOp::Implies:
+    return "=>";
+  case TermOp::Eq:
+    return "=";
+  case TermOp::Lt:
+    return "<";
+  case TermOp::Le:
+    return "<=";
+  case TermOp::Neg:
+    return "-";
+  case TermOp::Add:
+    return "+";
+  case TermOp::Sub:
+    return "-";
+  case TermOp::Mul:
+    return "*";
+  case TermOp::Div:
+    return "div";
+  case TermOp::Mod:
+    return "mod";
+  case TermOp::Ite:
+    return "ite";
+  case TermOp::Select:
+    return "select";
+  case TermOp::Store:
+    return "store";
+  case TermOp::Const:
+  case TermOp::IntLit:
+  case TermOp::BoolLit:
+    break;
+  }
+  return "?";
+}
+
+std::string sortSexpr(const Type *Ty) {
+  if (!Ty || Ty->isInt())
+    return "Int";
+  if (Ty->isBool())
+    return "Bool";
+  if (Ty->isBv())
+    return "(_ BitVec " + std::to_string(Ty->bvWidth()) + ")";
+  return "(Array " + sortSexpr(Ty->indexType()) + " " +
+         sortSexpr(Ty->elementType()) + ")";
+}
+
+/// SMT-LIB symbols with characters outside the simple-symbol set must be
+/// quoted with |...|.
+std::string quoteSymbol(const std::string &Name) {
+  bool Simple = !Name.empty();
+  for (char C : Name) {
+    if (!(std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+          C == '$' || C == '.' || C == '!' || C == '@' || C == '-')) {
+      Simple = false;
+      break;
+    }
+  }
+  if (Simple && !std::isdigit(static_cast<unsigned char>(Name[0])))
+    return Name;
+  return "|" + Name + "|";
+}
+
+void printInto(const TermArena &Arena, TermRef T, std::string &Out) {
+  const TermNode &N = Arena.node(T);
+  switch (N.Op) {
+  case TermOp::Const:
+    Out += quoteSymbol(Arena.constName(T));
+    return;
+  case TermOp::IntLit:
+    if (N.Sort && N.Sort->isBv()) {
+      Out += "(_ bv" + std::to_string(static_cast<uint64_t>(N.Payload)) +
+             " " + std::to_string(N.Sort->bvWidth()) + ")";
+    } else if (N.Payload < 0) {
+      Out += "(- " + std::to_string(-N.Payload) + ")";
+    } else {
+      Out += std::to_string(N.Payload);
+    }
+    return;
+  case TermOp::BoolLit:
+    Out += N.Payload ? "true" : "false";
+    return;
+  default:
+    break;
+  }
+  bool Bv = false;
+  if (N.Sort && N.Sort->isBv()) {
+    Bv = true;
+  } else if (N.NumKids > 0) {
+    // Comparisons carry no sort of their own; dispatch on an operand.
+    for (unsigned I = 0; I < N.NumKids && !Bv; ++I) {
+      const Type *KidSort = Arena.sort(Arena.kid(T, I));
+      Bv = KidSort && KidSort->isBv();
+    }
+  }
+  Out += "(";
+  Out += opName(N.Op, Bv);
+  for (unsigned I = 0; I < N.NumKids; ++I) {
+    Out += " ";
+    printInto(Arena, Arena.kid(T, I), Out);
+  }
+  Out += ")";
+}
+
+void collectConsts(const TermArena &Arena, TermRef Root,
+                   std::unordered_set<uint32_t> &Seen,
+                   std::vector<TermRef> &Consts) {
+  std::vector<TermRef> Work{Root};
+  while (!Work.empty()) {
+    TermRef T = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(T.id()).second)
+      continue;
+    if (Arena.op(T) == TermOp::Const)
+      Consts.push_back(T);
+    for (unsigned I = 0, N = Arena.numKids(T); I < N; ++I)
+      Work.push_back(Arena.kid(T, I));
+  }
+}
+
+} // namespace
+
+std::string rmt::printTerm(const TermArena &Arena, TermRef T) {
+  std::string Out;
+  printInto(Arena, T, Out);
+  return Out;
+}
+
+std::string rmt::printScript(const TermArena &Arena,
+                             const std::vector<TermRef> &Assertions) {
+  std::unordered_set<uint32_t> Seen;
+  std::vector<TermRef> Consts;
+  for (TermRef A : Assertions)
+    collectConsts(Arena, A, Seen, Consts);
+
+  std::string Out = "(set-logic ALL)\n";
+  for (TermRef C : Consts)
+    Out += "(declare-const " + quoteSymbol(Arena.constName(C)) + " " +
+           sortSexpr(Arena.sort(C)) + ")\n";
+  for (TermRef A : Assertions)
+    Out += "(assert " + printTerm(Arena, A) + ")\n";
+  Out += "(check-sat)\n";
+  return Out;
+}

@@ -1,0 +1,35 @@
+//===- SmtLibPrinter.h - SMT-LIB2 rendering of terms ------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders terms as SMT-LIB2 s-expressions, and whole assertion sets as a
+/// self-contained (declare-const ... / assert ... / check-sat) script. Used
+/// by tests (goldens over the Fig. 6 VCs), by debugging dumps, and as a
+/// second backend to sanity-check the Z3 translation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_SMT_SMTLIBPRINTER_H
+#define RMT_SMT_SMTLIBPRINTER_H
+
+#include "smt/Term.h"
+
+#include <string>
+#include <vector>
+
+namespace rmt {
+
+/// Renders \p T as one s-expression (shared subterms are expanded inline).
+std::string printTerm(const TermArena &Arena, TermRef T);
+
+/// Renders a full script: declarations of every constant occurring in
+/// \p Assertions, one (assert ...) per entry, and (check-sat).
+std::string printScript(const TermArena &Arena,
+                        const std::vector<TermRef> &Assertions);
+
+} // namespace rmt
+
+#endif // RMT_SMT_SMTLIBPRINTER_H

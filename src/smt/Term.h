@@ -1,0 +1,193 @@
+//===- Term.h - Hash-consed SMT terms ---------------------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A solver-independent term layer. VC generation (the paper's Push(...)
+/// calls) builds terms here; backends (Z3, SMT-LIB printing) translate them.
+///
+/// Terms are hash-consed in a TermArena: structurally equal applications and
+/// literals share one TermRef. Symbolic constants ("new Const" in Fig. 8) are
+/// deliberately *not* consed — every freshConst() call mints a distinct
+/// constant, which is exactly the paper's semantics for BS/VS/VS' entries.
+///
+/// The operator set is canonicalized: Ne, Gt, Ge and Iff are rewritten by the
+/// builder (into Not/Eq and swapped Lt/Le), so backends handle fewer cases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_SMT_TERM_H
+#define RMT_SMT_TERM_H
+
+#include "ast/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rmt {
+
+/// A handle to a term inside a TermArena.
+class TermRef {
+public:
+  TermRef() : Id(~0u) {}
+  explicit TermRef(uint32_t Id) : Id(Id) {}
+  bool isValid() const { return Id != ~0u; }
+  uint32_t id() const {
+    assert(isValid() && "invalid term");
+    return Id;
+  }
+  friend bool operator==(TermRef A, TermRef B) { return A.Id == B.Id; }
+  friend bool operator!=(TermRef A, TermRef B) { return A.Id != B.Id; }
+
+private:
+  uint32_t Id;
+};
+
+/// Term node operators (post-canonicalization).
+enum class TermOp : uint8_t {
+  Const,   ///< symbolic constant; payload = constant index, has a name
+  IntLit,  ///< payload = value
+  BoolLit, ///< payload = 0/1
+  Not,
+  And,
+  Or,
+  Implies,
+  Eq,      ///< any sort; doubles as Iff on booleans
+  Lt,
+  Le,
+  Neg,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Ite,
+  Select,
+  Store,
+};
+
+/// One term node. Children live in the arena's shared operand pool.
+struct TermNode {
+  TermOp Op;
+  const Type *Sort;
+  int64_t Payload;    ///< literal value or constant index
+  uint32_t FirstKid;  ///< offset into TermArena's operand pool
+  uint32_t NumKids;
+};
+
+/// Owns all terms. Append-only; TermRefs stay valid forever.
+class TermArena {
+public:
+  TermArena() = default;
+  TermArena(const TermArena &) = delete;
+  TermArena &operator=(const TermArena &) = delete;
+
+  // --- Leaves ---------------------------------------------------------------
+
+  /// Mints a *fresh* symbolic constant of \p Sort. \p BaseName is decorated
+  /// with a unique suffix for readability in dumps and models.
+  TermRef freshConst(const Type *Sort, const std::string &BaseName);
+
+  TermRef intLit(int64_t Value);
+  TermRef boolLit(bool Value);
+  /// Bitvector literal of \p Sort (a Bv type); value truncated to width.
+  TermRef bvLit(uint64_t Value, const Type *Sort);
+  TermRef mkTrue() { return boolLit(true); }
+  TermRef mkFalse() { return boolLit(false); }
+
+  // --- Applications (hash-consed, lightly simplified) -----------------------
+
+  TermRef mkNot(TermRef A);
+  TermRef mkAnd(TermRef A, TermRef B);
+  TermRef mkOr(TermRef A, TermRef B);
+  TermRef mkImplies(TermRef A, TermRef B);
+  /// Conjunction of a vector; true for empty.
+  TermRef mkAndMany(const std::vector<TermRef> &Terms);
+  /// Disjunction of a vector; false for empty.
+  TermRef mkOrMany(const std::vector<TermRef> &Terms);
+
+  TermRef mkEq(TermRef A, TermRef B);
+  TermRef mkLt(TermRef A, TermRef B);
+  TermRef mkLe(TermRef A, TermRef B);
+
+  TermRef mkNeg(TermRef A);
+  TermRef mkAdd(TermRef A, TermRef B);
+  TermRef mkSub(TermRef A, TermRef B);
+  TermRef mkMul(TermRef A, TermRef B);
+  TermRef mkDiv(TermRef A, TermRef B);
+  TermRef mkMod(TermRef A, TermRef B);
+
+  TermRef mkIte(TermRef C, TermRef T, TermRef E);
+  TermRef mkSelect(TermRef Array, TermRef Index);
+  TermRef mkStore(TermRef Array, TermRef Index, TermRef Value);
+
+  // --- Inspection ------------------------------------------------------------
+
+  const TermNode &node(TermRef T) const { return Nodes[T.id()]; }
+  TermOp op(TermRef T) const { return node(T).Op; }
+  const Type *sort(TermRef T) const { return node(T).Sort; }
+  unsigned numKids(TermRef T) const { return node(T).NumKids; }
+  TermRef kid(TermRef T, unsigned I) const {
+    assert(I < node(T).NumKids && "child index out of range");
+    return Operands[node(T).FirstKid + I];
+  }
+  /// Name of a Const term (with its uniquifying suffix).
+  const std::string &constName(TermRef T) const {
+    assert(op(T) == TermOp::Const && "not a constant");
+    return ConstNames[static_cast<size_t>(node(T).Payload)];
+  }
+
+  bool isTrue(TermRef T) const {
+    return op(T) == TermOp::BoolLit && node(T).Payload != 0;
+  }
+  bool isFalse(TermRef T) const {
+    return op(T) == TermOp::BoolLit && node(T).Payload == 0;
+  }
+
+  size_t numTerms() const { return Nodes.size(); }
+  size_t numConsts() const { return ConstNames.size(); }
+
+  /// Total nodes reachable from \p T counting shared nodes once (VC size
+  /// metric used by the size benchmarks).
+  size_t dagSize(TermRef T) const;
+
+private:
+  TermRef makeLeaf(TermOp Op, const Type *Sort, int64_t Payload);
+  TermRef makeApp(TermOp Op, const Type *Sort,
+                  std::initializer_list<TermRef> Kids);
+
+  struct AppKey {
+    TermOp Op;
+    int64_t Payload;
+    const Type *Sort; // distinguishes literals of different sorts
+    std::vector<uint32_t> Kids;
+    bool operator==(const AppKey &O) const {
+      return Op == O.Op && Payload == O.Payload && Sort == O.Sort &&
+             Kids == O.Kids;
+    }
+  };
+  struct AppKeyHash {
+    size_t operator()(const AppKey &K) const {
+      size_t H = static_cast<size_t>(K.Op) * 1099511628211ULL ^
+                 static_cast<size_t>(K.Payload) * 14695981039346656037ULL ^
+                 reinterpret_cast<size_t>(K.Sort);
+      for (uint32_t Kid : K.Kids)
+        H = H * 1099511628211ULL ^ Kid;
+      return H;
+    }
+  };
+
+  std::vector<TermNode> Nodes;
+  std::vector<TermRef> Operands;
+  std::vector<std::string> ConstNames;
+  std::unordered_map<AppKey, uint32_t, AppKeyHash> ConsTable;
+};
+
+} // namespace rmt
+
+#endif // RMT_SMT_TERM_H

@@ -1,0 +1,78 @@
+//===- Translate.cpp ------------------------------------------------------===//
+
+#include "smt/Translate.h"
+
+#include <cassert>
+
+using namespace rmt;
+
+TermRef rmt::translateExpr(TermArena &Arena, const Expr *E,
+                           const VarTermMap &Subst) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    if (E->type() && E->type()->isBv())
+      return Arena.bvLit(static_cast<uint64_t>(E->intValue()), E->type());
+    return Arena.intLit(E->intValue());
+  case ExprKind::BoolLit:
+    return Arena.boolLit(E->boolValue());
+  case ExprKind::Var: {
+    auto It = Subst.find(E->var());
+    assert(It != Subst.end() && "free variable not bound in substitution");
+    return It->second;
+  }
+  case ExprKind::Unary: {
+    TermRef Sub = translateExpr(Arena, E->op0(), Subst);
+    return E->unOp() == UnOp::Not ? Arena.mkNot(Sub) : Arena.mkNeg(Sub);
+  }
+  case ExprKind::Binary: {
+    TermRef L = translateExpr(Arena, E->op0(), Subst);
+    TermRef R = translateExpr(Arena, E->op1(), Subst);
+    switch (E->binOp()) {
+    case BinOp::Add:
+      return Arena.mkAdd(L, R);
+    case BinOp::Sub:
+      return Arena.mkSub(L, R);
+    case BinOp::Mul:
+      return Arena.mkMul(L, R);
+    case BinOp::Div:
+      return Arena.mkDiv(L, R);
+    case BinOp::Mod:
+      return Arena.mkMod(L, R);
+    case BinOp::Eq:
+      return Arena.mkEq(L, R);
+    case BinOp::Ne:
+      return Arena.mkNot(Arena.mkEq(L, R));
+    case BinOp::Lt:
+      return Arena.mkLt(L, R);
+    case BinOp::Le:
+      return Arena.mkLe(L, R);
+    case BinOp::Gt:
+      return Arena.mkLt(R, L);
+    case BinOp::Ge:
+      return Arena.mkLe(R, L);
+    case BinOp::And:
+      return Arena.mkAnd(L, R);
+    case BinOp::Or:
+      return Arena.mkOr(L, R);
+    case BinOp::Implies:
+      return Arena.mkImplies(L, R);
+    case BinOp::Iff:
+      return Arena.mkEq(L, R);
+    }
+    break;
+  }
+  case ExprKind::Ite:
+    return Arena.mkIte(translateExpr(Arena, E->op0(), Subst),
+                       translateExpr(Arena, E->op1(), Subst),
+                       translateExpr(Arena, E->op2(), Subst));
+  case ExprKind::Select:
+    return Arena.mkSelect(translateExpr(Arena, E->op0(), Subst),
+                          translateExpr(Arena, E->op1(), Subst));
+  case ExprKind::Store:
+    return Arena.mkStore(translateExpr(Arena, E->op0(), Subst),
+                         translateExpr(Arena, E->op1(), Subst),
+                         translateExpr(Arena, E->op2(), Subst));
+  }
+  assert(false && "unhandled expression kind");
+  return TermRef();
+}

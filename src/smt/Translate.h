@@ -1,0 +1,35 @@
+//===- Translate.h - Program expressions to SMT terms -----------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates typed AST expressions to terms under a substitution from
+/// program variables to terms. This implements the paper's e[m] notation:
+/// "for an expression e over variables X, e[m] refers to substituting each
+/// x with m[x] in e".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_SMT_TRANSLATE_H
+#define RMT_SMT_TRANSLATE_H
+
+#include "ast/Expr.h"
+#include "smt/Term.h"
+
+#include <unordered_map>
+
+namespace rmt {
+
+/// Substitution from program variables to terms (the paper's maps VS[y]).
+using VarTermMap = std::unordered_map<Symbol, TermRef>;
+
+/// Translates \p E under \p Subst. Every free variable of \p E must be bound
+/// in \p Subst; \p E must be typed.
+TermRef translateExpr(TermArena &Arena, const Expr *E,
+                      const VarTermMap &Subst);
+
+} // namespace rmt
+
+#endif // RMT_SMT_TRANSLATE_H

@@ -1,0 +1,256 @@
+//===- Z3Solver.cpp -------------------------------------------------------===//
+
+#include "smt/Z3Solver.h"
+
+#include <z3.h>
+
+#include <cassert>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace rmt;
+
+Solver::~Solver() = default;
+
+namespace {
+
+/// Z3 reports API misuse through an error handler; we record and keep going
+/// (checks then return Unknown). Using a thread-unsafe global is acceptable:
+/// each Z3SolverImpl owns its own context, and the handler only flags.
+void z3ErrorHandler(Z3_context Ctx, Z3_error_code Code) {
+  std::fprintf(stderr, "z3 error %d: %s\n", static_cast<int>(Code),
+               Z3_get_error_msg(Ctx, Code));
+}
+
+class Z3SolverImpl final : public Solver {
+public:
+  explicit Z3SolverImpl(const TermArena &Arena) : Arena(Arena) {
+    Z3_config Config = Z3_mk_config();
+    Z3_set_param_value(Config, "model", "true");
+    Ctx = Z3_mk_context(Config);
+    Z3_del_config(Config);
+    Z3_set_error_handler(Ctx, z3ErrorHandler);
+    Sol = Z3_mk_solver(Ctx);
+    Z3_solver_inc_ref(Ctx, Sol);
+  }
+
+  ~Z3SolverImpl() override {
+    clearModel();
+    Z3_solver_dec_ref(Ctx, Sol);
+    Z3_del_context(Ctx);
+  }
+
+  void assertTerm(TermRef T) override {
+    Z3_solver_assert(Ctx, Sol, translate(T));
+  }
+
+  void push() override { Z3_solver_push(Ctx, Sol); }
+  void pop() override { Z3_solver_pop(Ctx, Sol, 1); }
+
+  SolveResult check(const std::vector<TermRef> &Assumptions,
+                    double TimeoutSeconds) override {
+    ++NumChecks;
+    clearModel();
+    if (TimeoutSeconds > 0) {
+      Z3_params Params = Z3_mk_params(Ctx);
+      Z3_params_inc_ref(Ctx, Params);
+      unsigned Ms = static_cast<unsigned>(TimeoutSeconds * 1000.0);
+      Z3_params_set_uint(Ctx, Params,
+                         Z3_mk_string_symbol(Ctx, "timeout"),
+                         Ms == 0 ? 1 : Ms);
+      Z3_solver_set_params(Ctx, Sol, Params);
+      Z3_params_dec_ref(Ctx, Params);
+    }
+    std::vector<Z3_ast> Lits;
+    Lits.reserve(Assumptions.size());
+    for (TermRef A : Assumptions)
+      Lits.push_back(translate(A));
+    Z3_lbool R = Z3_solver_check_assumptions(
+        Ctx, Sol, static_cast<unsigned>(Lits.size()), Lits.data());
+    if (R == Z3_L_TRUE) {
+      Model = Z3_solver_get_model(Ctx, Sol);
+      Z3_model_inc_ref(Ctx, Model);
+      return SolveResult::Sat;
+    }
+    return R == Z3_L_FALSE ? SolveResult::Unsat : SolveResult::Unknown;
+  }
+
+  bool modelBool(TermRef ConstTerm) override {
+    Z3_ast Value = evalInModel(ConstTerm);
+    return Value && Z3_get_bool_value(Ctx, Value) == Z3_L_TRUE;
+  }
+
+  int64_t modelInt(TermRef ConstTerm) override {
+    Z3_ast Value = evalInModel(ConstTerm);
+    int64_t Out = 0;
+    if (Value && !Z3_get_numeral_int64(Ctx, Value, &Out)) {
+      // Wide bitvector values may only fit unsigned extraction.
+      uint64_t U = 0;
+      if (Z3_get_numeral_uint64(Ctx, Value, &U))
+        Out = static_cast<int64_t>(U);
+    }
+    return Out;
+  }
+
+private:
+  void clearModel() {
+    if (Model) {
+      Z3_model_dec_ref(Ctx, Model);
+      Model = nullptr;
+    }
+  }
+
+  Z3_ast evalInModel(TermRef T) {
+    assert(Model && "model access without a preceding Sat result");
+    Z3_ast Out = nullptr;
+    if (!Z3_model_eval(Ctx, Model, translate(T), /*model_completion=*/true,
+                       &Out))
+      return nullptr;
+    return Out;
+  }
+
+  Z3_sort sortOf(const Type *Ty) {
+    if (!Ty || Ty->isInt())
+      return Z3_mk_int_sort(Ctx);
+    if (Ty->isBool())
+      return Z3_mk_bool_sort(Ctx);
+    if (Ty->isBv())
+      return Z3_mk_bv_sort(Ctx, Ty->bvWidth());
+    return Z3_mk_array_sort(Ctx, sortOf(Ty->indexType()),
+                            sortOf(Ty->elementType()));
+  }
+
+  /// True when the value sort of \p T is a bitvector (arithmetic then uses
+  /// the bv variants). Sorts are propagated bottom-up by the arena.
+  bool isBvValued(TermRef T) {
+    const Type *S = Arena.sort(T);
+    return S && S->isBv();
+  }
+
+  /// Translates \p T, memoizing per TermRef. Iterative worklist: VC terms
+  /// can be deep (long implication chains), so no recursion.
+  Z3_ast translate(TermRef Root) {
+    if (Root.id() < Cache.size() && Cache[Root.id()])
+      return Cache[Root.id()];
+    std::vector<TermRef> Work{Root};
+    while (!Work.empty()) {
+      TermRef T = Work.back();
+      if (T.id() < Cache.size() && Cache[T.id()]) {
+        Work.pop_back();
+        continue;
+      }
+      bool KidsReady = true;
+      for (unsigned I = 0, N = Arena.numKids(T); I < N; ++I) {
+        TermRef K = Arena.kid(T, I);
+        if (K.id() >= Cache.size() || !Cache[K.id()]) {
+          Work.push_back(K);
+          KidsReady = false;
+        }
+      }
+      if (!KidsReady)
+        continue;
+      Work.pop_back();
+      if (T.id() >= Cache.size())
+        Cache.resize(Arena.numTerms(), nullptr);
+      Cache[T.id()] = build(T);
+    }
+    return Cache[Root.id()];
+  }
+
+  Z3_ast kidAst(TermRef T, unsigned I) {
+    return Cache[Arena.kid(T, I).id()];
+  }
+
+  Z3_ast build(TermRef T) {
+    const TermNode &N = Arena.node(T);
+    switch (N.Op) {
+    case TermOp::Const: {
+      Z3_symbol Name =
+          Z3_mk_string_symbol(Ctx, Arena.constName(T).c_str());
+      return Z3_mk_const(Ctx, Name, sortOf(N.Sort));
+    }
+    case TermOp::IntLit:
+      if (N.Sort && N.Sort->isBv())
+        return Z3_mk_unsigned_int64(Ctx, static_cast<uint64_t>(N.Payload),
+                                    sortOf(N.Sort));
+      return Z3_mk_int64(Ctx, N.Payload, Z3_mk_int_sort(Ctx));
+    case TermOp::BoolLit:
+      return N.Payload ? Z3_mk_true(Ctx) : Z3_mk_false(Ctx);
+    case TermOp::Not:
+      return Z3_mk_not(Ctx, kidAst(T, 0));
+    case TermOp::And: {
+      Z3_ast Args[2] = {kidAst(T, 0), kidAst(T, 1)};
+      return Z3_mk_and(Ctx, 2, Args);
+    }
+    case TermOp::Or: {
+      Z3_ast Args[2] = {kidAst(T, 0), kidAst(T, 1)};
+      return Z3_mk_or(Ctx, 2, Args);
+    }
+    case TermOp::Implies:
+      return Z3_mk_implies(Ctx, kidAst(T, 0), kidAst(T, 1));
+    case TermOp::Eq:
+      return Z3_mk_eq(Ctx, kidAst(T, 0), kidAst(T, 1));
+    case TermOp::Lt:
+      if (isBvValued(Arena.kid(T, 0)) || isBvValued(Arena.kid(T, 1)))
+        return Z3_mk_bvult(Ctx, kidAst(T, 0), kidAst(T, 1));
+      return Z3_mk_lt(Ctx, kidAst(T, 0), kidAst(T, 1));
+    case TermOp::Le:
+      if (isBvValued(Arena.kid(T, 0)) || isBvValued(Arena.kid(T, 1)))
+        return Z3_mk_bvule(Ctx, kidAst(T, 0), kidAst(T, 1));
+      return Z3_mk_le(Ctx, kidAst(T, 0), kidAst(T, 1));
+    case TermOp::Neg:
+      if (isBvValued(T))
+        return Z3_mk_bvneg(Ctx, kidAst(T, 0));
+      return Z3_mk_unary_minus(Ctx, kidAst(T, 0));
+    case TermOp::Add: {
+      if (isBvValued(T))
+        return Z3_mk_bvadd(Ctx, kidAst(T, 0), kidAst(T, 1));
+      Z3_ast Args[2] = {kidAst(T, 0), kidAst(T, 1)};
+      return Z3_mk_add(Ctx, 2, Args);
+    }
+    case TermOp::Sub: {
+      if (isBvValued(T))
+        return Z3_mk_bvsub(Ctx, kidAst(T, 0), kidAst(T, 1));
+      Z3_ast Args[2] = {kidAst(T, 0), kidAst(T, 1)};
+      return Z3_mk_sub(Ctx, 2, Args);
+    }
+    case TermOp::Mul: {
+      if (isBvValued(T))
+        return Z3_mk_bvmul(Ctx, kidAst(T, 0), kidAst(T, 1));
+      Z3_ast Args[2] = {kidAst(T, 0), kidAst(T, 1)};
+      return Z3_mk_mul(Ctx, 2, Args);
+    }
+    case TermOp::Div:
+      if (isBvValued(T))
+        return Z3_mk_bvudiv(Ctx, kidAst(T, 0), kidAst(T, 1));
+      return Z3_mk_div(Ctx, kidAst(T, 0), kidAst(T, 1));
+    case TermOp::Mod:
+      if (isBvValued(T))
+        return Z3_mk_bvurem(Ctx, kidAst(T, 0), kidAst(T, 1));
+      return Z3_mk_mod(Ctx, kidAst(T, 0), kidAst(T, 1));
+    case TermOp::Ite:
+      return Z3_mk_ite(Ctx, kidAst(T, 0), kidAst(T, 1), kidAst(T, 2));
+    case TermOp::Select:
+      return Z3_mk_select(Ctx, kidAst(T, 0), kidAst(T, 1));
+    case TermOp::Store:
+      return Z3_mk_store(Ctx, kidAst(T, 0), kidAst(T, 1), kidAst(T, 2));
+    }
+    assert(false && "unhandled term op");
+    return nullptr;
+  }
+
+  const TermArena &Arena;
+  Z3_context Ctx = nullptr;
+  Z3_solver Sol = nullptr;
+  Z3_model Model = nullptr;
+  /// TermRef id -> Z3 ast. Z3_mk_context (non-rc mode) keeps all ASTs alive
+  /// for the context's lifetime, so caching plain pointers is safe.
+  std::vector<Z3_ast> Cache;
+};
+
+} // namespace
+
+std::unique_ptr<Solver> rmt::createZ3Solver(const TermArena &Arena) {
+  return std::make_unique<Z3SolverImpl>(Arena);
+}

@@ -1,0 +1,29 @@
+//===- Z3Solver.h - Z3 backend ----------------------------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Solver backend over the Z3 C API (the same solver the paper's stack —
+/// Corral/Boogie — bottoms out in). Uses the C API rather than z3++ so the
+/// library stays exception-free; Z3 errors surface as Unknown results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_SMT_Z3SOLVER_H
+#define RMT_SMT_Z3SOLVER_H
+
+#include "smt/Solver.h"
+
+#include <memory>
+
+namespace rmt {
+
+/// Creates a Z3-backed solver over \p Arena. The arena must outlive the
+/// solver. Each solver owns a private Z3 context.
+std::unique_ptr<Solver> createZ3Solver(const TermArena &Arena);
+
+} // namespace rmt
+
+#endif // RMT_SMT_Z3SOLVER_H

@@ -1,0 +1,36 @@
+//===- Diag.cpp -----------------------------------------------------------===//
+
+#include "support/Diag.h"
+
+using namespace rmt;
+
+std::string SrcLoc::str() const {
+  if (!isValid())
+    return "<no-loc>";
+  return std::to_string(Line) + ":" + std::to_string(Col);
+}
+
+std::string Diag::str() const {
+  const char *Prefix = "error";
+  switch (Kind) {
+  case DiagKind::Error:
+    Prefix = "error";
+    break;
+  case DiagKind::Warning:
+    Prefix = "warning";
+    break;
+  case DiagKind::Note:
+    Prefix = "note";
+    break;
+  }
+  return Loc.str() + ": " + Prefix + ": " + Message;
+}
+
+std::string DiagEngine::str() const {
+  std::string Out;
+  for (const Diag &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

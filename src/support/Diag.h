@@ -1,0 +1,72 @@
+//===- Diag.h - Source locations and diagnostics ----------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and an error collector shared by the lexer, parser,
+/// resolver and type checker. The library never throws; phases report into a
+/// DiagEngine and callers test hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_SUPPORT_DIAG_H
+#define RMT_SUPPORT_DIAG_H
+
+#include <string>
+#include <vector>
+
+namespace rmt {
+
+/// A 1-based line/column position in a source buffer. Line 0 means "no
+/// location" (e.g. for programs built programmatically).
+struct SrcLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diag {
+  DiagKind Kind;
+  SrcLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics emitted by the front-end phases.
+class DiagEngine {
+public:
+  void error(SrcLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SrcLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+  void note(SrcLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diag> &all() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string str() const;
+
+private:
+  std::vector<Diag> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace rmt
+
+#endif // RMT_SUPPORT_DIAG_H

@@ -1,0 +1,49 @@
+//===- Rng.h - Deterministic pseudo-random numbers --------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fully deterministic PRNG (splitmix64 seeded xoshiro256**) used by
+/// the randomized merging strategies, the workload generators and the
+/// property tests. Determinism per seed is essential so benchmark corpora
+/// and failures are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_SUPPORT_RNG_H
+#define RMT_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace rmt {
+
+/// Deterministic random number generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed);
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound);
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi);
+
+  /// True with probability \p Num / \p Den.
+  bool chance(uint64_t Num, uint64_t Den);
+
+  /// Uniform double in [0, 1).
+  double real();
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace rmt
+
+#endif // RMT_SUPPORT_RNG_H

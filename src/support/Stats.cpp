@@ -1,0 +1,29 @@
+//===- Stats.cpp ----------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <cstdio>
+
+using namespace rmt;
+
+void Stats::merge(const Stats &Other) {
+  for (const auto &[Name, Value] : Other.Counters)
+    Counters[Name] += Value;
+  for (const auto &[Name, Value] : Other.Times)
+    Times[Name] += Value;
+}
+
+std::string Stats::str() const {
+  std::string Out;
+  char Buf[160];
+  for (const auto &[Name, Value] : Counters) {
+    std::snprintf(Buf, sizeof(Buf), "%-40s %lld\n", Name.c_str(),
+                  static_cast<long long>(Value));
+    Out += Buf;
+  }
+  for (const auto &[Name, Value] : Times) {
+    std::snprintf(Buf, sizeof(Buf), "%-40s %.4fs\n", Name.c_str(), Value);
+    Out += Buf;
+  }
+  return Out;
+}

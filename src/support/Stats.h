@@ -1,0 +1,60 @@
+//===- Stats.h - Named statistic counters -----------------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny statistics registry. Engines record counters ("procedures inlined",
+/// "solver calls", "merge lookups") and timers; benchmarks and EXPERIMENTS.md
+/// report them. Inspired by LLVM's Statistic but instance-scoped so parallel
+/// engines do not share state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_SUPPORT_STATS_H
+#define RMT_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rmt {
+
+/// A bag of named counters and accumulated timings.
+class Stats {
+public:
+  void add(const std::string &Name, int64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+  void addTime(const std::string &Name, double Seconds) {
+    Times[Name] += Seconds;
+  }
+
+  int64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+  double getTime(const std::string &Name) const {
+    auto It = Times.find(Name);
+    return It == Times.end() ? 0.0 : It->second;
+  }
+
+  const std::map<std::string, int64_t> &counters() const { return Counters; }
+  const std::map<std::string, double> &times() const { return Times; }
+
+  /// Merges another stats bag into this one (used to aggregate per-instance
+  /// engine stats into corpus-level numbers).
+  void merge(const Stats &Other);
+
+  /// Multi-line human-readable rendering.
+  std::string str() const;
+
+private:
+  std::map<std::string, int64_t> Counters;
+  std::map<std::string, double> Times;
+};
+
+} // namespace rmt
+
+#endif // RMT_SUPPORT_STATS_H

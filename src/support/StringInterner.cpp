@@ -1,0 +1,26 @@
+//===- StringInterner.cpp -------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+using namespace rmt;
+
+Symbol StringInterner::intern(std::string_view Str) {
+  auto It = Index.find(Str);
+  if (It != Index.end())
+    return Symbol(It->second);
+
+  uint32_t Id = static_cast<uint32_t>(Strings.size());
+  Strings.emplace_back(Str);
+  Index.emplace(std::string_view(Strings.back()), Id);
+  return Symbol(Id);
+}
+
+Symbol StringInterner::freshen(std::string_view Base) {
+  std::string Candidate(Base);
+  unsigned Counter = 0;
+  while (Index.count(Candidate)) {
+    Candidate = std::string(Base) + "#" + std::to_string(Counter);
+    ++Counter;
+  }
+  return intern(Candidate);
+}

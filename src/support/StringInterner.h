@@ -1,0 +1,88 @@
+//===- StringInterner.h - Interned identifiers ------------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned strings. Identifiers (variable, procedure and label names) occur
+/// everywhere in the verifier; interning them gives O(1) comparison and
+/// compact, trivially-hashable handles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_SUPPORT_STRINGINTERNER_H
+#define RMT_SUPPORT_STRINGINTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace rmt {
+
+/// A handle to an interned string. Symbols are only meaningful relative to
+/// the StringInterner that produced them.
+class Symbol {
+public:
+  Symbol() : Id(~0u) {}
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+
+  bool isValid() const { return Id != ~0u; }
+  uint32_t id() const {
+    assert(isValid() && "querying invalid symbol");
+    return Id;
+  }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+
+private:
+  uint32_t Id;
+};
+
+/// Owns the storage for a set of unique strings and hands out Symbol handles.
+class StringInterner {
+public:
+  StringInterner() = default;
+  StringInterner(const StringInterner &) = delete;
+  StringInterner &operator=(const StringInterner &) = delete;
+
+  /// Interns \p Str, returning the canonical Symbol for it.
+  Symbol intern(std::string_view Str);
+
+  /// Returns the string for \p Sym. The reference stays valid for the
+  /// lifetime of the interner.
+  const std::string &str(Symbol Sym) const {
+    assert(Sym.isValid() && Sym.id() < Strings.size() && "unknown symbol");
+    return Strings[Sym.id()];
+  }
+
+  /// Number of distinct strings interned so far.
+  size_t size() const { return Strings.size(); }
+
+  /// Returns a symbol guaranteed not to collide with any user identifier by
+  /// appending a numeric suffix to \p Base until the result is fresh.
+  Symbol freshen(std::string_view Base);
+
+private:
+  // Deque keeps element references stable across growth, so the string_view
+  // keys in Index (which alias elements of Strings) never dangle.
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string_view, uint32_t> Index;
+};
+
+} // namespace rmt
+
+namespace std {
+template <> struct hash<rmt::Symbol> {
+  size_t operator()(rmt::Symbol S) const {
+    return S.isValid() ? std::hash<uint32_t>()(S.id()) : size_t(-1);
+  }
+};
+} // namespace std
+
+#endif // RMT_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,91 @@
+//===- Table.cpp ----------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace rmt;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+void Table::row() { Rows.emplace_back(); }
+
+void Table::cell(const std::string &Value) {
+  assert(!Rows.empty() && "cell() before row()");
+  assert(Rows.back().size() < Header.size() && "too many cells in row");
+  Rows.back().push_back(Value);
+}
+
+void Table::cell(int64_t Value) { cell(std::to_string(Value)); }
+void Table::cell(uint64_t Value) { cell(std::to_string(Value)); }
+
+void Table::cell(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  cell(std::string(Buf));
+}
+
+std::string Table::str() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto AppendRow = [&](std::string &Out, const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      Out += Row[I];
+      if (I + 1 < Row.size())
+        Out.append(Widths[I] - Row[I].size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  AppendRow(Out, Header);
+  std::string Rule;
+  for (size_t I = 0; I < Header.size(); ++I) {
+    Rule.append(Widths[I], '-');
+    if (I + 1 < Header.size())
+      Rule.append(2, ' ');
+  }
+  Out += Rule;
+  Out += '\n';
+  for (const auto &Row : Rows)
+    AppendRow(Out, Row);
+  return Out;
+}
+
+static void appendCsvField(std::string &Out, const std::string &Field) {
+  bool NeedsQuote = Field.find_first_of(",\"\n") != std::string::npos;
+  if (!NeedsQuote) {
+    Out += Field;
+    return;
+  }
+  Out += '"';
+  for (char C : Field) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+}
+
+std::string Table::csv() const {
+  std::string Out;
+  auto AppendRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      appendCsvField(Out, Row[I]);
+      if (I + 1 < Row.size())
+        Out += ',';
+    }
+    Out += '\n';
+  };
+  AppendRow(Header);
+  for (const auto &Row : Rows)
+    AppendRow(Row);
+  return Out;
+}

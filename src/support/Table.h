@@ -1,0 +1,48 @@
+//===- Table.h - Aligned text tables for benchmark output -------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A column-aligned plain-text table writer. Every benchmark binary prints
+/// its figure/table data through this so EXPERIMENTS.md can quote outputs
+/// verbatim. Also emits CSV for external plotting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_SUPPORT_TABLE_H
+#define RMT_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace rmt {
+
+/// An aligned text/CSV table builder.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  void row();
+  void cell(const std::string &Value);
+  void cell(int64_t Value);
+  void cell(uint64_t Value);
+  void cell(double Value, int Precision = 3);
+
+  size_t numRows() const { return Rows.size(); }
+
+  /// Renders with space-aligned columns.
+  std::string str() const;
+  /// Renders as CSV (header + rows).
+  std::string csv() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace rmt
+
+#endif // RMT_SUPPORT_TABLE_H

@@ -1,0 +1,67 @@
+//===- Timer.h - Wall-clock timing and deadlines ----------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock stopwatch and a Deadline helper used by the engines
+/// to honour per-instance timeouts (Section 4 runs every instance under a
+/// timeout budget).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_SUPPORT_TIMER_H
+#define RMT_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace rmt {
+
+/// A stopwatch running from construction (or the last reset()).
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed seconds since start.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed milliseconds since start.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// A wall-clock budget. A non-positive budget means "no deadline".
+class Deadline {
+public:
+  Deadline() = default;
+  explicit Deadline(double BudgetSeconds) : Budget(BudgetSeconds) {}
+
+  bool enabled() const { return Budget > 0; }
+  bool expired() const { return enabled() && Watch.seconds() >= Budget; }
+
+  /// Seconds remaining; +inf when no deadline is set.
+  double remaining() const {
+    if (!enabled())
+      return 1e300;
+    double Left = Budget - Watch.seconds();
+    return Left > 0 ? Left : 0;
+  }
+
+  double elapsed() const { return Watch.seconds(); }
+
+private:
+  double Budget = 0;
+  Stopwatch Watch;
+};
+
+} // namespace rmt
+
+#endif // RMT_SUPPORT_TIMER_H

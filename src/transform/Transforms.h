@@ -1,0 +1,79 @@
+//===- Transforms.h - Bounding and instrumentation pipeline -----*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST-to-AST transforms that turn an arbitrary checked program into a
+/// *hierarchical* reachability instance (paper Section 1: "once loops have
+/// been unrolled and recursion unfolded up to a bound, the resulting program
+/// is hierarchical"):
+///
+///  1. unrollLoops(R)      — every `while` becomes R nested guarded copies;
+///                           a deterministic guard still true after R
+///                           iterations blocks (assume false), so bounding is
+///                           an under-approximation, as in Corral/CBMC.
+///  2. unfoldRecursion(R)  — procedures in call-graph SCCs are cloned to
+///                           depth R; deeper recursive calls block.
+///  3. instrumentAsserts   — compiles assertion checking to the paper's
+///                           reachability problem (Def. 1) with an error-bit
+///                           global: `assert e` sets `$err` and bails to the
+///                           procedure exit; every call is followed by an
+///                           `$err` bail-out check; the root procedure clears
+///                           `$err` on entry. The query becomes "is there a
+///                           terminating execution of the root with $err".
+///
+/// prepareBounded() composes all three.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_TRANSFORM_TRANSFORMS_H
+#define RMT_TRANSFORM_TRANSFORMS_H
+
+#include "ast/AstContext.h"
+#include "ast/Stmt.h"
+
+namespace rmt {
+
+/// Rewrites every `while` into \p Bound nested `if`s. Programs without loops
+/// are returned unchanged (structurally shared).
+Program unrollLoops(AstContext &Ctx, const Program &Prog, unsigned Bound);
+
+/// Clones every procedure that participates in a call-graph cycle into
+/// \p Bound depth-indexed copies (`p`, `p@2`, ..., `p@Bound`); recursive
+/// calls past the bound become `assume false`. Acyclic programs are returned
+/// unchanged. The bound counts frames of the same SCC on one call chain.
+Program unfoldRecursion(AstContext &Ctx, const Program &Prog, unsigned Bound);
+
+/// Result of assertion instrumentation.
+struct InstrumentedProgram {
+  Program Prog;
+  /// The error-bit global ($err).
+  Symbol ErrVar;
+  /// Entry procedure (same name as requested).
+  Symbol Entry;
+  /// Number of assert statements instrumented.
+  unsigned NumAsserts = 0;
+};
+
+/// Error-bit instrumentation (see file comment). \p Entry must name a
+/// procedure of \p Prog; it must not be called from within the program.
+InstrumentedProgram instrumentAsserts(AstContext &Ctx, const Program &Prog,
+                                      Symbol Entry);
+
+/// A ready-to-lower hierarchical reachability instance.
+struct BoundedInstance {
+  Program Prog;
+  Symbol ErrVar;
+  Symbol Entry;
+  unsigned NumAsserts = 0;
+};
+
+/// unrollLoops(R) ∘ unfoldRecursion(R) ∘ instrumentAsserts.
+BoundedInstance prepareBounded(AstContext &Ctx, const Program &Prog,
+                               Symbol Entry, unsigned Bound);
+
+} // namespace rmt
+
+#endif // RMT_TRANSFORM_TRANSFORMS_H

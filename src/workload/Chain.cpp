@@ -1,0 +1,50 @@
+//===- Chain.cpp ----------------------------------------------------------===//
+
+#include "workload/Chain.h"
+
+using namespace rmt;
+
+Program rmt::makeChainProgram(AstContext &Ctx, unsigned N, bool Buggy) {
+  Program Prog;
+  Symbol G = Ctx.sym("g");
+  Prog.Globals.push_back({G, Ctx.intType(), SrcLoc()});
+
+  auto ProcName = [&](unsigned I) {
+    return Ctx.sym("P" + std::to_string(I));
+  };
+  auto CallTwice = [&](Symbol Callee) {
+    // if (*) call C(); else call C();  — the disjointness pattern.
+    const Stmt *Then = Ctx.call(Callee, {}, {});
+    const Stmt *Else = Ctx.call(Callee, {}, {});
+    return Ctx.ifStmt(nullptr, {Then}, {Else});
+  };
+  auto GRef = [&] { return Ctx.tVar(G, Ctx.intType()); };
+
+  // main.
+  {
+    Procedure Main;
+    Main.Name = Ctx.sym("main");
+    Main.Body.push_back(Ctx.assign(G, Ctx.tInt(0)));
+    Main.Body.push_back(CallTwice(ProcName(0)));
+    Prog.Procedures.push_back(std::move(Main));
+  }
+  // P0 .. PN-1.
+  for (unsigned I = 0; I < N; ++I) {
+    Procedure P;
+    P.Name = ProcName(I);
+    P.Body.push_back(
+        Ctx.assign(G, Ctx.tBinary(BinOp::Add, GRef(), Ctx.tInt(1))));
+    P.Body.push_back(CallTwice(ProcName(I + 1)));
+    Prog.Procedures.push_back(std::move(P));
+  }
+  // PN: the assertion.
+  {
+    Procedure P;
+    P.Name = ProcName(N);
+    int64_t Expected = Buggy ? static_cast<int64_t>(N) + 1 : N;
+    P.Body.push_back(Ctx.assertStmt(
+        Ctx.tBinary(BinOp::Eq, GRef(), Ctx.tInt(Expected))));
+    Prog.Procedures.push_back(std::move(P));
+  }
+  return Prog;
+}

@@ -1,0 +1,34 @@
+//===- Chain.h - The Fig. 2 chain-program family -----------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generator for the paper's Fig. 2 program, parameterized by N:
+///
+///   var g: int;
+///   procedure main() { g := 0; if (*) call P0(); else call P0(); }
+///   procedure Pi()   { g := g + 1; if (*) call Pi+1(); else call Pi+1(); }
+///   procedure PN()   { assert g == N; }
+///
+/// Tree inlining is exponential in N (every Pi is duplicated down both
+/// branches), DAG inlining is linear — the Fig. 3 experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_WORKLOAD_CHAIN_H
+#define RMT_WORKLOAD_CHAIN_H
+
+#include "ast/AstContext.h"
+#include "ast/Stmt.h"
+
+namespace rmt {
+
+/// Builds the chain program for \p N (N >= 1). With \p Buggy the final
+/// assertion is `g == N + 1`, which every execution violates.
+Program makeChainProgram(AstContext &Ctx, unsigned N, bool Buggy = false);
+
+} // namespace rmt
+
+#endif // RMT_WORKLOAD_CHAIN_H

@@ -1,0 +1,265 @@
+//===- RandomProg.cpp -----------------------------------------------------===//
+
+#include "workload/RandomProg.h"
+
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+using namespace rmt;
+
+namespace {
+
+class Generator {
+public:
+  Generator(AstContext &Ctx, const RandomProgParams &P)
+      : Ctx(Ctx), P(P), Gen(P.Seed) {}
+
+  Program run() {
+    // Globals.
+    for (unsigned I = 0; I < P.NumIntGlobals; ++I) {
+      Symbol S = Ctx.sym("g" + std::to_string(I));
+      Prog.Globals.push_back({S, Ctx.intType(), SrcLoc()});
+      IntVars.push_back(S);
+    }
+    for (unsigned I = 0; I < P.NumBoolGlobals; ++I) {
+      Symbol S = Ctx.sym("b" + std::to_string(I));
+      Prog.Globals.push_back({S, Ctx.boolType(), SrcLoc()});
+      BoolVars.push_back(S);
+    }
+    if (P.AllowArrays) {
+      ArrayVar = Ctx.sym("arr");
+      Prog.Globals.push_back(
+          {ArrayVar, Ctx.arrayType(Ctx.intType(), Ctx.intType()), SrcLoc()});
+    }
+    if (P.AllowBitvectors) {
+      for (const char *Name : {"w0", "w1"}) {
+        Symbol S = Ctx.sym(Name);
+        Prog.Globals.push_back({S, Ctx.bvType(8), SrcLoc()});
+        BvVars.push_back(S);
+      }
+    }
+
+    // Procedure shells first (so call targets exist).
+    for (unsigned I = 0; I < P.NumProcs; ++I) {
+      Procedure Proc;
+      Proc.Name = I == 0 ? Ctx.sym("main")
+                         : Ctx.sym("proc" + std::to_string(I));
+      if (I != 0) {
+        // main has no parameters (it is the entry).
+        unsigned NumParams = static_cast<unsigned>(Gen.below(3));
+        for (unsigned J = 0; J < NumParams; ++J)
+          Proc.Params.push_back({Ctx.sym("p" + std::to_string(I) + "_" +
+                                         std::to_string(J)),
+                                 Ctx.intType(),
+                                 SrcLoc()});
+        if (Gen.chance(1, 2))
+          Proc.Returns.push_back(
+              {Ctx.sym("r" + std::to_string(I)), Ctx.intType(), SrcLoc()});
+      }
+      Proc.Locals.push_back(
+          {Ctx.sym("t" + std::to_string(I)), Ctx.intType(), SrcLoc()});
+      Prog.Procedures.push_back(std::move(Proc));
+    }
+
+    for (unsigned I = 0; I < P.NumProcs; ++I) {
+      CurrentProc = I;
+      Prog.Procedures[I].Body = genBlock(P.MaxNesting);
+    }
+    return std::move(Prog);
+  }
+
+private:
+  /// Int-typed variables in scope of the current procedure.
+  std::vector<Symbol> intScope() const {
+    std::vector<Symbol> Scope = IntVars;
+    const Procedure &Proc = Prog.Procedures[CurrentProc];
+    for (const auto *Decls : {&Proc.Params, &Proc.Returns, &Proc.Locals})
+      for (const VarDecl &D : *Decls)
+        if (D.Ty->isInt())
+          Scope.push_back(D.Name);
+    return Scope;
+  }
+
+  const Expr *genIntExpr(unsigned Depth) {
+    std::vector<Symbol> Scope = intScope();
+    if (Depth == 0 || Gen.chance(1, 3)) {
+      if (!Scope.empty() && Gen.chance(3, 4))
+        return Ctx.tVar(Scope[Gen.below(Scope.size())], Ctx.intType());
+      return Ctx.tInt(Gen.range(-5, 5));
+    }
+    switch (Gen.below(5)) {
+    case 0:
+      return Ctx.tBinary(BinOp::Add, genIntExpr(Depth - 1),
+                         genIntExpr(Depth - 1));
+    case 1:
+      return Ctx.tBinary(BinOp::Sub, genIntExpr(Depth - 1),
+                         genIntExpr(Depth - 1));
+    case 2:
+      // Multiplication by a constant keeps Z3 in linear arithmetic.
+      return Ctx.tBinary(BinOp::Mul, Ctx.tInt(Gen.range(-3, 3)),
+                         genIntExpr(Depth - 1));
+    case 3:
+      return Ctx.tUnary(UnOp::Neg, genIntExpr(Depth - 1));
+    default:
+      if (ArrayVar.isValid())
+        return Ctx.tSelect(arrayRef(), genIntExpr(Depth - 1));
+      return Ctx.tIte(genBoolExpr(0), genIntExpr(Depth - 1),
+                      genIntExpr(Depth - 1));
+    }
+  }
+
+  const Expr *arrayRef() {
+    return Ctx.tVar(ArrayVar, Ctx.arrayType(Ctx.intType(), Ctx.intType()));
+  }
+
+  /// A bv8-typed expression over the bv globals.
+  const Expr *genBvExpr(unsigned Depth) {
+    if (Depth == 0 || Gen.chance(1, 3)) {
+      if (!BvVars.empty() && Gen.chance(2, 3))
+        return Ctx.tVar(BvVars[Gen.below(BvVars.size())], Ctx.bvType(8));
+      return Ctx.tBv(Gen.below(256), 8);
+    }
+    static const BinOp Ops[] = {BinOp::Add, BinOp::Sub, BinOp::Mul,
+                                BinOp::Div, BinOp::Mod};
+    return Ctx.tBinary(Ops[Gen.below(5)], genBvExpr(Depth - 1),
+                       genBvExpr(Depth - 1));
+  }
+
+  const Expr *genBoolExpr(unsigned Depth) {
+    if (Depth == 0 || Gen.chance(1, 2)) {
+      if (!BoolVars.empty() && Gen.chance(1, 3))
+        return Ctx.tVar(BoolVars[Gen.below(BoolVars.size())],
+                        Ctx.boolType());
+      static const BinOp Cmps[] = {BinOp::Eq, BinOp::Ne, BinOp::Lt,
+                                   BinOp::Le, BinOp::Gt, BinOp::Ge};
+      if (!BvVars.empty() && Gen.chance(1, 4))
+        return Ctx.tBinary(Cmps[Gen.below(6)], genBvExpr(1), genBvExpr(1));
+      return Ctx.tBinary(Cmps[Gen.below(6)], genIntExpr(1), genIntExpr(1));
+    }
+    switch (Gen.below(3)) {
+    case 0:
+      return Ctx.tBinary(BinOp::And, genBoolExpr(Depth - 1),
+                         genBoolExpr(Depth - 1));
+    case 1:
+      return Ctx.tBinary(BinOp::Or, genBoolExpr(Depth - 1),
+                         genBoolExpr(Depth - 1));
+    default:
+      return Ctx.tUnary(UnOp::Not, genBoolExpr(Depth - 1));
+    }
+  }
+
+  std::vector<const Stmt *> genBlock(unsigned Nesting) {
+    std::vector<const Stmt *> Block;
+    unsigned Count = 1 + static_cast<unsigned>(Gen.below(P.MaxStmts));
+    for (unsigned I = 0; I < Count; ++I)
+      Block.push_back(genStmt(Nesting));
+    return Block;
+  }
+
+  const Stmt *genStmt(unsigned Nesting) {
+    // Assertion sites, biased toward (but not guaranteeing) validity: the
+    // asserted shape `e*e >= 0 || cond` holds unless cond picks badly.
+    if (Gen.chance(P.AssertChance, 256)) {
+      if (Gen.chance(3, 4)) {
+        // assert v <= v + k for k >= 0: always true (sanity pruning for the
+        // solver), or a comparison that may fail.
+        const Expr *V = genIntExpr(1);
+        int64_t K = Gen.range(0, 6);
+        return Ctx.assertStmt(Ctx.tBinary(
+            BinOp::Le, V, Ctx.tBinary(BinOp::Add, V, Ctx.tInt(K))));
+      }
+      return Ctx.assertStmt(genBoolExpr(P.MaxExprDepth));
+    }
+
+    std::vector<Symbol> Scope = intScope();
+    switch (Gen.below(10)) {
+    case 0:
+    case 1:
+    case 2: {
+      Symbol Target = Scope[Gen.below(Scope.size())];
+      return Ctx.assign(Target, genIntExpr(P.MaxExprDepth));
+    }
+    case 3: {
+      if (BoolVars.empty())
+        return Ctx.assign(Scope[Gen.below(Scope.size())], genIntExpr(1));
+      Symbol Target = BoolVars[Gen.below(BoolVars.size())];
+      return Ctx.assign(Target, genBoolExpr(P.MaxExprDepth));
+    }
+    case 4:
+      return Ctx.havoc({Scope[Gen.below(Scope.size())]});
+    case 5: {
+      // Satisfiable-biased assume: v <= big or v >= small.
+      const Expr *V = genIntExpr(1);
+      if (Gen.chance(1, 2))
+        return Ctx.assume(Ctx.tBinary(BinOp::Le, V, Ctx.tInt(100)));
+      return Ctx.assume(Ctx.tBinary(BinOp::Ge, V, Ctx.tInt(-100)));
+    }
+    case 6:
+      return genCall();
+    case 7:
+      if (Nesting > 0) {
+        const Expr *Guard = Gen.chance(1, 3) ? nullptr
+                                             : genBoolExpr(P.MaxExprDepth);
+        return Ctx.ifStmt(Guard, genBlock(Nesting - 1),
+                          Gen.chance(1, 2)
+                              ? genBlock(Nesting - 1)
+                              : std::vector<const Stmt *>{});
+      }
+      return genCall();
+    case 8:
+      if (P.AllowLoops && Nesting > 0)
+        return Ctx.whileStmt(nullptr, genBlock(Nesting - 1));
+      return genCall();
+    default:
+      if (!BvVars.empty() && Gen.chance(1, 2))
+        return Ctx.assign(BvVars[Gen.below(BvVars.size())],
+                          genBvExpr(P.MaxExprDepth));
+      if (ArrayVar.isValid() && Gen.chance(1, 2))
+        return Ctx.assign(ArrayVar, Ctx.tStore(arrayRef(), genIntExpr(1),
+                                               genIntExpr(1)));
+      return genCall();
+    }
+  }
+
+  const Stmt *genCall() {
+    // Procedure i only calls j > i: acyclic by construction.
+    if (CurrentProc + 1 >= P.NumProcs) {
+      // Leaf: fall back to an assignment.
+      std::vector<Symbol> Scope = intScope();
+      return Ctx.assign(Scope[Gen.below(Scope.size())], genIntExpr(1));
+    }
+    unsigned Callee = CurrentProc + 1 +
+                      static_cast<unsigned>(
+                          Gen.below(P.NumProcs - CurrentProc - 1));
+    const Procedure &Target = Prog.Procedures[Callee];
+    std::vector<const Expr *> Args;
+    for (size_t I = 0; I < Target.Params.size(); ++I)
+      Args.push_back(genIntExpr(1));
+    std::vector<Symbol> Lhs;
+    if (!Target.Returns.empty()) {
+      std::vector<Symbol> Scope = intScope();
+      Lhs.push_back(Scope[Gen.below(Scope.size())]);
+    }
+    return Ctx.call(Target.Name, std::move(Args), std::move(Lhs));
+  }
+
+  AstContext &Ctx;
+  const RandomProgParams &P;
+  Rng Gen;
+  Program Prog;
+  std::vector<Symbol> IntVars;  // int globals
+  std::vector<Symbol> BoolVars; // bool globals
+  std::vector<Symbol> BvVars;   // bv8 globals
+  Symbol ArrayVar;
+  unsigned CurrentProc = 0;
+};
+
+} // namespace
+
+Program rmt::makeRandomProgram(AstContext &Ctx,
+                               const RandomProgParams &Params) {
+  Generator G(Ctx, Params);
+  return G.run();
+}

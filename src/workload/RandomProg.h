@@ -1,0 +1,49 @@
+//===- RandomProg.h - Random program generator ------------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random generator of well-typed programs, used by the property
+/// tests: every engine/strategy must agree with every other on the verdict,
+/// and with the concrete evaluator on found bugs. Call structure is acyclic
+/// by construction (procedure i only calls j > i); loops are optional and
+/// nondeterministically guarded so every run terminates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_WORKLOAD_RANDOMPROG_H
+#define RMT_WORKLOAD_RANDOMPROG_H
+
+#include "ast/AstContext.h"
+#include "ast/Stmt.h"
+
+#include <cstdint>
+
+namespace rmt {
+
+/// Shape knobs for makeRandomProgram.
+struct RandomProgParams {
+  uint64_t Seed = 1;
+  unsigned NumIntGlobals = 3;
+  unsigned NumBoolGlobals = 1;
+  unsigned NumProcs = 6;      ///< including main (procedure 0)
+  unsigned MaxStmts = 5;      ///< per block
+  unsigned MaxNesting = 2;    ///< if/while nesting
+  unsigned MaxExprDepth = 2;
+  bool AllowLoops = false;    ///< emit `while (*)` loops
+  bool AllowArrays = false;   ///< one [int]int global with select/store
+  bool AllowBitvectors = false; ///< two bv8 globals with modular arithmetic
+  /// Probability (out of 256) that an assert is generated at a statement
+  /// position; asserts are biased toward holding but not always.
+  unsigned AssertChance = 40;
+};
+
+/// Builds a random program. The result is type-correct and uses `main`
+/// (procedure 0) as entry.
+Program makeRandomProgram(AstContext &Ctx, const RandomProgParams &Params);
+
+} // namespace rmt
+
+#endif // RMT_WORKLOAD_RANDOMPROG_H

@@ -1,0 +1,79 @@
+//===- SdvGen.h - Synthetic SDV-like driver corpus ---------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper evaluates on Static Driver Verifier instances: a driver is
+/// compiled with an instrumented rule into a program with assertions, and
+/// Corral checks it. That corpus is proprietary, so (per the reproduction
+/// ground rules) we synthesize drivers that manufacture exactly the
+/// structures Section 2 credits for merging opportunity:
+///
+///  * a harness that dispatches a havoc'd request code through a switch
+///    (if/else chain) to one of several handlers — disjoint by construction;
+///  * handlers that branch internally and call *shared utility procedures*
+///    — transitive disjointness ("fooi and fooj end up calling the same
+///    procedure bar");
+///  * a lock-discipline rule (acquire/release around device accesses, assert
+///    no double acquire / no release while free / lock free on exit) plus
+///    arithmetic state assertions — the instrumented property;
+///  * layered utility procedures where each layer calls the next through
+///    both sides of a branch — the Fig. 2 pattern that makes tree inlining
+///    exponential in the depth;
+///  * optional seeded bugs (a forgotten release or an off-by-one in a state
+///    update) on one dispatch path, so bug-finding requires goal-directed
+///    search.
+///
+/// Sizes, sharing degree, depth and bug placement are all seed-derived, so a
+/// corpus is reproducible from (seed, params).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_WORKLOAD_SDVGEN_H
+#define RMT_WORKLOAD_SDVGEN_H
+
+#include "ast/AstContext.h"
+#include "ast/Stmt.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rmt {
+
+/// Shape of one synthetic driver instance.
+struct SdvParams {
+  uint64_t Seed = 1;
+  /// Dispatch arms in the harness (request kinds).
+  unsigned NumHandlers = 4;
+  /// Shared utility procedures (the merge targets).
+  unsigned NumUtils = 6;
+  /// Layered depth of the utility DAG (each layer calls the next through
+  /// both branch arms — tree size doubles per layer).
+  unsigned UtilDepth = 4;
+  /// Calls a handler makes into the utility layer.
+  unsigned CallsPerHandler = 3;
+  /// Inject a rule violation on one dispatch path.
+  bool InjectBug = false;
+};
+
+/// Builds one synthetic driver. Entry procedure is `main`.
+Program makeSdvProgram(AstContext &Ctx, const SdvParams &Params);
+
+/// A corpus instance descriptor (for benchmark tables).
+struct SdvInstance {
+  std::string Name;
+  SdvParams Params;
+};
+
+/// The deterministic benchmark corpus used by the Fig. 12–16 benches:
+/// \p Count instances of increasing size, alternating safe/buggy per
+/// \p BugFraction (out of 256).
+std::vector<SdvInstance> makeSdvCorpus(uint64_t Seed, unsigned Count,
+                                       unsigned BugFraction = 96);
+
+} // namespace rmt
+
+#endif // RMT_WORKLOAD_SDVGEN_H

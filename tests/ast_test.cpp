@@ -1,0 +1,348 @@
+//===- ast_test.cpp - Unit tests for src/ast -------------------------------===//
+
+#include "ast/AstContext.h"
+#include "ast/AstPrinter.h"
+#include "ast/Eval.h"
+#include "parser/Parser.h"
+#include "workload/Chain.h"
+#include "workload/RandomProg.h"
+
+#include <gtest/gtest.h>
+
+using namespace rmt;
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+TEST(Types, SingletonsAndUniquing) {
+  AstContext Ctx;
+  EXPECT_TRUE(Ctx.intType()->isInt());
+  EXPECT_TRUE(Ctx.boolType()->isBool());
+  const Type *A = Ctx.arrayType(Ctx.intType(), Ctx.boolType());
+  const Type *B = Ctx.arrayType(Ctx.intType(), Ctx.boolType());
+  EXPECT_EQ(A, B);
+  EXPECT_TRUE(A->isArray());
+  EXPECT_EQ(A->indexType(), Ctx.intType());
+  EXPECT_EQ(A->elementType(), Ctx.boolType());
+  const Type *Nested = Ctx.arrayType(Ctx.intType(), A);
+  EXPECT_NE(Nested, A);
+  EXPECT_EQ(Nested->str(), "[int][int]bool");
+}
+
+TEST(Types, Rendering) {
+  AstContext Ctx;
+  EXPECT_EQ(Ctx.intType()->str(), "int");
+  EXPECT_EQ(Ctx.boolType()->str(), "bool");
+  EXPECT_EQ(Ctx.arrayType(Ctx.intType(), Ctx.intType())->str(), "[int]int");
+}
+
+//===----------------------------------------------------------------------===//
+// Typed builders
+//===----------------------------------------------------------------------===//
+
+TEST(Builders, TypedExprsCarryTypes) {
+  AstContext Ctx;
+  const Expr *I = Ctx.tInt(5);
+  const Expr *B = Ctx.tBool(true);
+  EXPECT_EQ(I->type(), Ctx.intType());
+  EXPECT_EQ(B->type(), Ctx.boolType());
+  const Expr *Sum = Ctx.tBinary(BinOp::Add, I, Ctx.tInt(2));
+  EXPECT_EQ(Sum->type(), Ctx.intType());
+  const Expr *Cmp = Ctx.tBinary(BinOp::Lt, I, Sum);
+  EXPECT_EQ(Cmp->type(), Ctx.boolType());
+  const Expr *Ite = Ctx.tIte(Cmp, I, Sum);
+  EXPECT_EQ(Ite->type(), Ctx.intType());
+}
+
+TEST(Builders, ArraysSelectStore) {
+  AstContext Ctx;
+  const Type *ArrTy = Ctx.arrayType(Ctx.intType(), Ctx.intType());
+  const Expr *A = Ctx.tVar(Ctx.sym("a"), ArrTy);
+  const Expr *Stored = Ctx.tStore(A, Ctx.tInt(1), Ctx.tInt(9));
+  EXPECT_EQ(Stored->type(), ArrTy);
+  const Expr *Sel = Ctx.tSelect(Stored, Ctx.tInt(1));
+  EXPECT_EQ(Sel->type(), Ctx.intType());
+}
+
+TEST(Builders, AndOfEmptyListIsTrue) {
+  AstContext Ctx;
+  const Expr *T = Ctx.tAnd({});
+  EXPECT_EQ(T->kind(), ExprKind::BoolLit);
+  EXPECT_TRUE(T->boolValue());
+}
+
+//===----------------------------------------------------------------------===//
+// Printer round-trips
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Print -> parse -> print must be a fixpoint.
+void expectRoundTrip(const Program &Prog, AstContext &Ctx) {
+  std::string Once = printProgram(Ctx, Prog);
+  AstContext Ctx2;
+  DiagEngine Diags;
+  std::optional<Program> Reparsed = parseAndCheck(Once, Ctx2, Diags);
+  ASSERT_TRUE(Reparsed) << Diags.str() << "\nsource:\n" << Once;
+  std::string Twice = printProgram(Ctx2, *Reparsed);
+  EXPECT_EQ(Once, Twice);
+}
+
+} // namespace
+
+TEST(Printer, RoundTripChain) {
+  AstContext Ctx;
+  Program P = makeChainProgram(Ctx, 3);
+  expectRoundTrip(P, Ctx);
+}
+
+TEST(Printer, RoundTripRandomPrograms) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    AstContext Ctx;
+    RandomProgParams Params;
+    Params.Seed = Seed;
+    Params.AllowLoops = Seed % 2 == 0;
+    Params.AllowArrays = Seed % 3 == 0;
+    Params.AllowBitvectors = Seed % 4 == 0;
+    Program P = makeRandomProgram(Ctx, Params);
+    expectRoundTrip(P, Ctx);
+  }
+}
+
+TEST(Printer, PrecedenceMinimalParens) {
+  AstContext Ctx;
+  const Expr *X = Ctx.tVar(Ctx.sym("x"), Ctx.intType());
+  // x + 1 * 2  must print without parens around the product.
+  const Expr *E = Ctx.tBinary(
+      BinOp::Add, X, Ctx.tBinary(BinOp::Mul, Ctx.tInt(1), Ctx.tInt(2)));
+  EXPECT_EQ(printExpr(Ctx, E), "x + 1 * 2");
+  // (x + 1) * 2 must keep parens.
+  const Expr *F = Ctx.tBinary(
+      BinOp::Mul, Ctx.tBinary(BinOp::Add, X, Ctx.tInt(1)), Ctx.tInt(2));
+  EXPECT_EQ(printExpr(Ctx, F), "(x + 1) * 2");
+}
+
+TEST(Printer, NegativeLiterals) {
+  AstContext Ctx;
+  EXPECT_EQ(printExpr(Ctx, Ctx.tInt(-3)), "(-3)");
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::optional<Program> parseOk(const char *Src, AstContext &Ctx) {
+  DiagEngine Diags;
+  auto P = parseAndCheck(Src, Ctx, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return P;
+}
+
+} // namespace
+
+TEST(Eval, StraightLineArithmetic) {
+  AstContext Ctx;
+  auto P = parseOk(R"(
+    var g: int;
+    procedure main() {
+      g := 3;
+      g := g * 2 + 1;
+      assert g == 7;
+    }
+  )",
+                   Ctx);
+  ASSERT_TRUE(P);
+  EvalResult R = evaluate(Ctx, *P, Ctx.sym("main"), {});
+  EXPECT_EQ(R.Outcome, EvalOutcome::Completed);
+}
+
+TEST(Eval, AssertFailureDetected) {
+  AstContext Ctx;
+  auto P = parseOk(R"(
+    var g: int;
+    procedure main() {
+      g := 1;
+      assert g == 2;
+    }
+  )",
+                   Ctx);
+  ASSERT_TRUE(P);
+  EvalResult R = evaluate(Ctx, *P, Ctx.sym("main"), {});
+  EXPECT_EQ(R.Outcome, EvalOutcome::AssertFailed);
+  EXPECT_TRUE(R.FailedAssertLoc.isValid());
+}
+
+TEST(Eval, AssumeBlocks) {
+  AstContext Ctx;
+  auto P = parseOk(R"(
+    procedure main() {
+      assume false;
+      assert false;
+    }
+  )",
+                   Ctx);
+  ASSERT_TRUE(P);
+  EvalResult R = evaluate(Ctx, *P, Ctx.sym("main"), {});
+  EXPECT_EQ(R.Outcome, EvalOutcome::Blocked);
+}
+
+TEST(Eval, CallsPassParamsAndReturns) {
+  AstContext Ctx;
+  auto P = parseOk(R"(
+    procedure inc(a: int) returns (b: int) { b := a + 1; }
+    procedure main() {
+      var x: int;
+      call x := inc(41);
+      assert x == 42;
+    }
+  )",
+                   Ctx);
+  ASSERT_TRUE(P);
+  EvalResult R = evaluate(Ctx, *P, Ctx.sym("main"), {});
+  EXPECT_EQ(R.Outcome, EvalOutcome::Completed);
+}
+
+TEST(Eval, LoopCountsIterations) {
+  AstContext Ctx;
+  auto P = parseOk(R"(
+    procedure main() {
+      var i: int;
+      i := 0;
+      while (i < 5) { i := i + 1; }
+      assert i == 5;
+    }
+  )",
+                   Ctx);
+  ASSERT_TRUE(P);
+  EvalResult R = evaluate(Ctx, *P, Ctx.sym("main"), {});
+  EXPECT_EQ(R.Outcome, EvalOutcome::Completed);
+  EXPECT_EQ(R.MaxLoopIterations, 5u);
+}
+
+TEST(Eval, RecursionDepthTracked) {
+  AstContext Ctx;
+  auto P = parseOk(R"(
+    procedure down(d: int) {
+      if (d > 0) { call down(d - 1); }
+    }
+    procedure main() { call down(4); }
+  )",
+                   Ctx);
+  ASSERT_TRUE(P);
+  EvalResult R = evaluate(Ctx, *P, Ctx.sym("main"), {});
+  EXPECT_EQ(R.Outcome, EvalOutcome::Completed);
+  EXPECT_EQ(R.MaxRecursionDepth, 5u); // down(4)..down(0)
+}
+
+TEST(Eval, FuelLimitsRunawayLoops) {
+  AstContext Ctx;
+  auto P = parseOk(R"(
+    var g: int;
+    procedure main() {
+      while (true) { g := g + 1; }
+    }
+  )",
+                   Ctx);
+  ASSERT_TRUE(P);
+  EvalOptions Opts;
+  Opts.MaxSteps = 1000;
+  EvalResult R = evaluate(Ctx, *P, Ctx.sym("main"), Opts);
+  EXPECT_EQ(R.Outcome, EvalOutcome::OutOfFuel);
+}
+
+TEST(Eval, EuclideanDivMod) {
+  AstContext Ctx;
+  auto P = parseOk(R"(
+    procedure main() {
+      assert 7 div 2 == 3;
+      assert 7 mod 2 == 1;
+      assert (-7) div 2 == -4;
+      assert (-7) mod 2 == 1;
+      assert 7 div (-2) == -3;
+      assert 7 mod (-2) == 1;
+      assert (-7) div (-2) == 4;
+      assert (-7) mod (-2) == 1;
+    }
+  )",
+                   Ctx);
+  ASSERT_TRUE(P);
+  EvalResult R = evaluate(Ctx, *P, Ctx.sym("main"), {});
+  EXPECT_EQ(R.Outcome, EvalOutcome::Completed);
+}
+
+TEST(Eval, ArraysStoreSelect) {
+  AstContext Ctx;
+  auto P = parseOk(R"(
+    var a: [int]int;
+    procedure main() {
+      a[3] := 7;
+      a[4] := 9;
+      assert a[3] == 7;
+      assert a[4] == 9;
+      assert a[5] == a[6];   // both default
+      a[3] := 0;
+      assert a[3] == 0;
+    }
+  )",
+                   Ctx);
+  ASSERT_TRUE(P);
+  EvalResult R = evaluate(Ctx, *P, Ctx.sym("main"), {});
+  EXPECT_EQ(R.Outcome, EvalOutcome::Completed);
+}
+
+TEST(Eval, ArrayEqualityIsExtensional) {
+  AstContext Ctx;
+  auto P = parseOk(R"(
+    var a: [int]int;
+    var b: [int]int;
+    procedure main() {
+      a[1] := 5;
+      b[1] := 5;
+      assert a == b;
+      b[1] := 0;      // pruned back to default
+      a[1] := 0;
+      assert a == b;
+    }
+  )",
+                   Ctx);
+  ASSERT_TRUE(P);
+  EvalResult R = evaluate(Ctx, *P, Ctx.sym("main"), {});
+  EXPECT_EQ(R.Outcome, EvalOutcome::Completed);
+}
+
+TEST(Eval, DeterministicPerSeed) {
+  AstContext Ctx;
+  RandomProgParams Params;
+  Params.Seed = 9;
+  Params.AllowLoops = true;
+  Program P = makeRandomProgram(Ctx, Params);
+  EvalOptions Opts;
+  Opts.Seed = 123;
+  EvalResult A = evaluate(Ctx, P, Ctx.sym("main"), Opts);
+  EvalResult B = evaluate(Ctx, P, Ctx.sym("main"), Opts);
+  EXPECT_EQ(A.Outcome, B.Outcome);
+  EXPECT_EQ(A.MaxLoopIterations, B.MaxLoopIterations);
+  EXPECT_EQ(A.MaxRecursionDepth, B.MaxRecursionDepth);
+}
+
+TEST(Eval, ShortCircuitSemantics) {
+  AstContext Ctx;
+  // Division by zero yields 0 in the oracle, but short-circuiting must
+  // avoid evaluating the right side when the left decides.
+  auto P = parseOk(R"(
+    procedure main() {
+      var x: int;
+      x := 0;
+      assert !(x != 0 && 10 div x > 0);
+      assert x == 0 || 10 div x > 0;
+      assert x != 0 ==> 10 div x >= 0;
+    }
+  )",
+                   Ctx);
+  ASSERT_TRUE(P);
+  EvalResult R = evaluate(Ctx, *P, Ctx.sym("main"), {});
+  EXPECT_EQ(R.Outcome, EvalOutcome::Completed);
+}
