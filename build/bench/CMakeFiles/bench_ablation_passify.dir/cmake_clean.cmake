@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_passify.dir/bench_ablation_passify.cpp.o"
+  "CMakeFiles/bench_ablation_passify.dir/bench_ablation_passify.cpp.o.d"
+  "bench_ablation_passify"
+  "bench_ablation_passify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_passify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

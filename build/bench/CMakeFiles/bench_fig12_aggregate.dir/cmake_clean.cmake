@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_aggregate.dir/bench_fig12_aggregate.cpp.o"
+  "CMakeFiles/bench_fig12_aggregate.dir/bench_fig12_aggregate.cpp.o.d"
+  "bench_fig12_aggregate"
+  "bench_fig12_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

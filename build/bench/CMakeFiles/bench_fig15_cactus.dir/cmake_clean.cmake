@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_cactus.dir/bench_fig15_cactus.cpp.o"
+  "CMakeFiles/bench_fig15_cactus.dir/bench_fig15_cactus.cpp.o.d"
+  "bench_fig15_cactus"
+  "bench_fig15_cactus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_cactus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

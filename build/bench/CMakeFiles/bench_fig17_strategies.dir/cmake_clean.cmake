@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_strategies.dir/bench_fig17_strategies.cpp.o"
+  "CMakeFiles/bench_fig17_strategies.dir/bench_fig17_strategies.cpp.o.d"
+  "bench_fig17_strategies"
+  "bench_fig17_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

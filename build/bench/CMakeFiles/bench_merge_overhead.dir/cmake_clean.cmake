@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_merge_overhead.dir/bench_merge_overhead.cpp.o"
+  "CMakeFiles/bench_merge_overhead.dir/bench_merge_overhead.cpp.o.d"
+  "bench_merge_overhead"
+  "bench_merge_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_merge_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

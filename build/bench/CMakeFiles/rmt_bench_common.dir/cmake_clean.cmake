@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/librmt_bench_common.a"
+  "../lib/librmt_bench_common.pdb"
+  "CMakeFiles/rmt_bench_common.dir/BenchCommon.cpp.o"
+  "CMakeFiles/rmt_bench_common.dir/BenchCommon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmt_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

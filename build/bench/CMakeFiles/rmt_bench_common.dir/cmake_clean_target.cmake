@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/librmt_bench_common.a"
+)

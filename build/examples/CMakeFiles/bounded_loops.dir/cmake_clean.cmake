@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_loops.dir/bounded_loops.cpp.o"
+  "CMakeFiles/bounded_loops.dir/bounded_loops.cpp.o.d"
+  "bounded_loops"
+  "bounded_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_dispatch.dir/driver_dispatch.cpp.o"
+  "CMakeFiles/driver_dispatch.dir/driver_dispatch.cpp.o.d"
+  "driver_dispatch"
+  "driver_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

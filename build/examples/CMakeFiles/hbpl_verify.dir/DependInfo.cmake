@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/hbpl_verify.cpp" "examples/CMakeFiles/hbpl_verify.dir/hbpl_verify.cpp.o" "gcc" "examples/CMakeFiles/hbpl_verify.dir/hbpl_verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/rmt_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rmt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rmt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/rmt_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/rmt_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/rmt_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/rmt_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rmt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbpl_verify.dir/hbpl_verify.cpp.o"
+  "CMakeFiles/hbpl_verify.dir/hbpl_verify.cpp.o.d"
+  "hbpl_verify"
+  "hbpl_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbpl_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmt_analysis.dir/Interval.cpp.o"
+  "CMakeFiles/rmt_analysis.dir/Interval.cpp.o.d"
+  "CMakeFiles/rmt_analysis.dir/InvariantGen.cpp.o"
+  "CMakeFiles/rmt_analysis.dir/InvariantGen.cpp.o.d"
+  "librmt_analysis.a"
+  "librmt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librmt_analysis.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/Ast.cpp" "src/ast/CMakeFiles/rmt_ast.dir/Ast.cpp.o" "gcc" "src/ast/CMakeFiles/rmt_ast.dir/Ast.cpp.o.d"
+  "/root/repo/src/ast/AstContext.cpp" "src/ast/CMakeFiles/rmt_ast.dir/AstContext.cpp.o" "gcc" "src/ast/CMakeFiles/rmt_ast.dir/AstContext.cpp.o.d"
+  "/root/repo/src/ast/AstPrinter.cpp" "src/ast/CMakeFiles/rmt_ast.dir/AstPrinter.cpp.o" "gcc" "src/ast/CMakeFiles/rmt_ast.dir/AstPrinter.cpp.o.d"
+  "/root/repo/src/ast/Eval.cpp" "src/ast/CMakeFiles/rmt_ast.dir/Eval.cpp.o" "gcc" "src/ast/CMakeFiles/rmt_ast.dir/Eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rmt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmt_ast.dir/Ast.cpp.o"
+  "CMakeFiles/rmt_ast.dir/Ast.cpp.o.d"
+  "CMakeFiles/rmt_ast.dir/AstContext.cpp.o"
+  "CMakeFiles/rmt_ast.dir/AstContext.cpp.o.d"
+  "CMakeFiles/rmt_ast.dir/AstPrinter.cpp.o"
+  "CMakeFiles/rmt_ast.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/rmt_ast.dir/Eval.cpp.o"
+  "CMakeFiles/rmt_ast.dir/Eval.cpp.o.d"
+  "librmt_ast.a"
+  "librmt_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmt_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

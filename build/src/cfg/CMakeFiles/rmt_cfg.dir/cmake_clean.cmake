@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmt_cfg.dir/Cfg.cpp.o"
+  "CMakeFiles/rmt_cfg.dir/Cfg.cpp.o.d"
+  "CMakeFiles/rmt_cfg.dir/Lower.cpp.o"
+  "CMakeFiles/rmt_cfg.dir/Lower.cpp.o.d"
+  "librmt_cfg.a"
+  "librmt_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmt_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Consistency.cpp" "src/core/CMakeFiles/rmt_core.dir/Consistency.cpp.o" "gcc" "src/core/CMakeFiles/rmt_core.dir/Consistency.cpp.o.d"
+  "/root/repo/src/core/Disjoint.cpp" "src/core/CMakeFiles/rmt_core.dir/Disjoint.cpp.o" "gcc" "src/core/CMakeFiles/rmt_core.dir/Disjoint.cpp.o.d"
+  "/root/repo/src/core/DotExport.cpp" "src/core/CMakeFiles/rmt_core.dir/DotExport.cpp.o" "gcc" "src/core/CMakeFiles/rmt_core.dir/DotExport.cpp.o.d"
+  "/root/repo/src/core/Engine.cpp" "src/core/CMakeFiles/rmt_core.dir/Engine.cpp.o" "gcc" "src/core/CMakeFiles/rmt_core.dir/Engine.cpp.o.d"
+  "/root/repo/src/core/Strategies.cpp" "src/core/CMakeFiles/rmt_core.dir/Strategies.cpp.o" "gcc" "src/core/CMakeFiles/rmt_core.dir/Strategies.cpp.o.d"
+  "/root/repo/src/core/VcGen.cpp" "src/core/CMakeFiles/rmt_core.dir/VcGen.cpp.o" "gcc" "src/core/CMakeFiles/rmt_core.dir/VcGen.cpp.o.d"
+  "/root/repo/src/core/Verifier.cpp" "src/core/CMakeFiles/rmt_core.dir/Verifier.cpp.o" "gcc" "src/core/CMakeFiles/rmt_core.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/rmt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/rmt_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/rmt_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/rmt_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/rmt_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rmt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmt_core.dir/Consistency.cpp.o"
+  "CMakeFiles/rmt_core.dir/Consistency.cpp.o.d"
+  "CMakeFiles/rmt_core.dir/Disjoint.cpp.o"
+  "CMakeFiles/rmt_core.dir/Disjoint.cpp.o.d"
+  "CMakeFiles/rmt_core.dir/DotExport.cpp.o"
+  "CMakeFiles/rmt_core.dir/DotExport.cpp.o.d"
+  "CMakeFiles/rmt_core.dir/Engine.cpp.o"
+  "CMakeFiles/rmt_core.dir/Engine.cpp.o.d"
+  "CMakeFiles/rmt_core.dir/Strategies.cpp.o"
+  "CMakeFiles/rmt_core.dir/Strategies.cpp.o.d"
+  "CMakeFiles/rmt_core.dir/VcGen.cpp.o"
+  "CMakeFiles/rmt_core.dir/VcGen.cpp.o.d"
+  "CMakeFiles/rmt_core.dir/Verifier.cpp.o"
+  "CMakeFiles/rmt_core.dir/Verifier.cpp.o.d"
+  "librmt_core.a"
+  "librmt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

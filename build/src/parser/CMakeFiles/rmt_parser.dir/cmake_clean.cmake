@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmt_parser.dir/Lexer.cpp.o"
+  "CMakeFiles/rmt_parser.dir/Lexer.cpp.o.d"
+  "CMakeFiles/rmt_parser.dir/Parser.cpp.o"
+  "CMakeFiles/rmt_parser.dir/Parser.cpp.o.d"
+  "CMakeFiles/rmt_parser.dir/TypeCheck.cpp.o"
+  "CMakeFiles/rmt_parser.dir/TypeCheck.cpp.o.d"
+  "librmt_parser.a"
+  "librmt_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmt_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/SmtLibPrinter.cpp" "src/smt/CMakeFiles/rmt_smt.dir/SmtLibPrinter.cpp.o" "gcc" "src/smt/CMakeFiles/rmt_smt.dir/SmtLibPrinter.cpp.o.d"
+  "/root/repo/src/smt/Term.cpp" "src/smt/CMakeFiles/rmt_smt.dir/Term.cpp.o" "gcc" "src/smt/CMakeFiles/rmt_smt.dir/Term.cpp.o.d"
+  "/root/repo/src/smt/Translate.cpp" "src/smt/CMakeFiles/rmt_smt.dir/Translate.cpp.o" "gcc" "src/smt/CMakeFiles/rmt_smt.dir/Translate.cpp.o.d"
+  "/root/repo/src/smt/Z3Solver.cpp" "src/smt/CMakeFiles/rmt_smt.dir/Z3Solver.cpp.o" "gcc" "src/smt/CMakeFiles/rmt_smt.dir/Z3Solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/rmt_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rmt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmt_smt.dir/SmtLibPrinter.cpp.o"
+  "CMakeFiles/rmt_smt.dir/SmtLibPrinter.cpp.o.d"
+  "CMakeFiles/rmt_smt.dir/Term.cpp.o"
+  "CMakeFiles/rmt_smt.dir/Term.cpp.o.d"
+  "CMakeFiles/rmt_smt.dir/Translate.cpp.o"
+  "CMakeFiles/rmt_smt.dir/Translate.cpp.o.d"
+  "CMakeFiles/rmt_smt.dir/Z3Solver.cpp.o"
+  "CMakeFiles/rmt_smt.dir/Z3Solver.cpp.o.d"
+  "librmt_smt.a"
+  "librmt_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmt_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmt_support.dir/Diag.cpp.o"
+  "CMakeFiles/rmt_support.dir/Diag.cpp.o.d"
+  "CMakeFiles/rmt_support.dir/Rng.cpp.o"
+  "CMakeFiles/rmt_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/rmt_support.dir/Stats.cpp.o"
+  "CMakeFiles/rmt_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/rmt_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/rmt_support.dir/StringInterner.cpp.o.d"
+  "CMakeFiles/rmt_support.dir/Table.cpp.o"
+  "CMakeFiles/rmt_support.dir/Table.cpp.o.d"
+  "librmt_support.a"
+  "librmt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmt_transform.dir/Transforms.cpp.o"
+  "CMakeFiles/rmt_transform.dir/Transforms.cpp.o.d"
+  "librmt_transform.a"
+  "librmt_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmt_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmt_workload.dir/Chain.cpp.o"
+  "CMakeFiles/rmt_workload.dir/Chain.cpp.o.d"
+  "CMakeFiles/rmt_workload.dir/RandomProg.cpp.o"
+  "CMakeFiles/rmt_workload.dir/RandomProg.cpp.o.d"
+  "CMakeFiles/rmt_workload.dir/SdvGen.cpp.o"
+  "CMakeFiles/rmt_workload.dir/SdvGen.cpp.o.d"
+  "librmt_workload.a"
+  "librmt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passify_test.dir/passify_test.cpp.o"
+  "CMakeFiles/passify_test.dir/passify_test.cpp.o.d"
+  "passify_test"
+  "passify_test.pdb"
+  "passify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

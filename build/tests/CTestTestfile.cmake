@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/ast_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/cfg_test[1]_include.cmake")
+include("/root/repo/build/tests/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/smt_test[1]_include.cmake")
+include("/root/repo/build/tests/disjoint_test[1]_include.cmake")
+include("/root/repo/build/tests/vcgen_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/strategies_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/passify_test[1]_include.cmake")
+include("/root/repo/build/tests/bitvector_test[1]_include.cmake")
+include("/root/repo/build/tests/verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/programs_test[1]_include.cmake")
