@@ -1,0 +1,174 @@
+//===- bench_prepass.cpp - Static-analysis prepass ablation -----------------===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+// Measures what the dataflow prepass (constant folding + branch pruning,
+// query slicing, skip splicing, dead-procedure elimination) buys on the
+// SDV-like corpus: the program size the engine sees, the size of the fully
+// inlined VC (hash-consed term count), and end-to-end DI verify time —
+// each with the prepass on vs off. Knobs: RMT_BENCH_TIMEOUT,
+// RMT_BENCH_COUNT (see BenchCommon.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "analysis/Dataflow.h"
+#include "cfg/Lower.h"
+#include "core/Consistency.h"
+#include "core/Strategies.h"
+#include "core/VcGen.h"
+#include "support/Table.h"
+#include "support/Timer.h"
+#include "transform/Transforms.h"
+
+#include <cstdio>
+
+using namespace rmt;
+using namespace rmt::bench;
+
+namespace {
+
+struct VcSize {
+  size_t Labels = 0;
+  size_t Procs = 0;
+  size_t Terms = 0;
+  size_t Inlined = 0;
+};
+
+/// Fully inlines the instance (structure-only, DI/First strategy) and
+/// reports the hash-consed term count — the static formula footprint the
+/// solver would be handed if every open edge were expanded.
+VcSize inlinedVcSize(const SdvParams &Params, bool UsePrepass) {
+  AstContext Ctx;
+  Program Prog = makeSdvProgram(Ctx, Params);
+  BoundedInstance Inst = prepareBounded(Ctx, Prog, Ctx.sym("main"), 1);
+  CfgProgram Cfg = lowerToCfg(Ctx, Inst.Prog);
+  ProcId Root = Cfg.findProc(Inst.Entry);
+  if (UsePrepass)
+    runPrepass(Ctx, Cfg, Root, Inst.ErrVar);
+
+  TermArena Arena;
+  VcContext Vc(Ctx, Cfg, Arena);
+  DisjointAnalysis Disj(Cfg);
+  ConsistencyChecker Check(Vc, Disj);
+  StrategyOptions SOpts;
+  SOpts.Kind = MergeStrategyKind::First;
+  std::unique_ptr<MergeStrategy> Strategy =
+      createStrategy(SOpts, Cfg, Disj, Root);
+  NodeId RootNode = Vc.genPvc(Root);
+  Check.onNewNode(RootNode);
+  Strategy->noteNewNode(RootNode, InvalidEdge);
+  while (!Vc.openEdges().empty() && Vc.numInlined() < 20000) {
+    EdgeId E = Vc.openEdges().front();
+    std::optional<NodeId> Pick = Strategy->pick(Vc, Check, E);
+    NodeId N;
+    if (Pick) {
+      N = *Pick;
+    } else {
+      N = Vc.genPvc(Vc.edge(E).Callee);
+      Check.onNewNode(N);
+      Strategy->noteNewNode(N, E);
+    }
+    Vc.bindEdge(E, N);
+    Check.onBind(E, N);
+  }
+
+  VcSize S;
+  S.Labels = Cfg.Labels.size();
+  S.Procs = Cfg.Procs.size();
+  S.Terms = Arena.numTerms();
+  S.Inlined = Vc.numInlined();
+  return S;
+}
+
+struct TimedRun {
+  Verdict Outcome = Verdict::Unknown;
+  double Seconds = 0;
+};
+
+TimedRun timedVerify(const SdvParams &Params, bool UsePrepass,
+                     double Timeout) {
+  AstContext Ctx;
+  Program Prog = makeSdvProgram(Ctx, Params);
+  VerifierOptions Opts;
+  Opts.Bound = 1; // drivers are loop-free by construction
+  Opts.UsePrepass = UsePrepass;
+  Opts.Engine.Strategy.Kind = MergeStrategyKind::First;
+  Opts.Engine.TimeoutSeconds = Timeout;
+  Stopwatch W;
+  VerifierRunResult R = verifyProgram(Ctx, Prog, Ctx.sym("main"), Opts);
+  return {R.Result.Outcome, W.seconds()};
+}
+
+} // namespace
+
+int main() {
+  double Timeout = envTimeout(10);
+  unsigned Count = envCount(12);
+
+  std::vector<SdvInstance> Corpus =
+      makeSdvCorpus(/*Seed=*/2015, Count, /*BugFraction=*/110);
+
+  std::printf("Prepass ablation — %u SDV-like instances, DI (First), "
+              "bound 1, timeout %.0fs\n\n",
+              Count, Timeout);
+
+  Table T({"Instance", "Labels off", "Labels on", "Terms off", "Terms on",
+           "Time off(s)", "Time on(s)", "Verdict"});
+  size_t TermsOff = 0, TermsOn = 0, LabelsOff = 0, LabelsOn = 0;
+  double TimeOff = 0, TimeOn = 0;
+  unsigned Disagreements = 0;
+
+  for (const SdvInstance &I : Corpus) {
+    VcSize Off = inlinedVcSize(I.Params, /*UsePrepass=*/false);
+    VcSize On = inlinedVcSize(I.Params, /*UsePrepass=*/true);
+    TimedRun ROff = timedVerify(I.Params, /*UsePrepass=*/false, Timeout);
+    TimedRun ROn = timedVerify(I.Params, /*UsePrepass=*/true, Timeout);
+
+    bool BothAnswered =
+        (ROff.Outcome == Verdict::Safe || ROff.Outcome == Verdict::Bug) &&
+        (ROn.Outcome == Verdict::Safe || ROn.Outcome == Verdict::Bug);
+    if (BothAnswered && ROff.Outcome != ROn.Outcome)
+      ++Disagreements;
+
+    TermsOff += Off.Terms;
+    TermsOn += On.Terms;
+    LabelsOff += Off.Labels;
+    LabelsOn += On.Labels;
+    TimeOff += ROff.Seconds;
+    TimeOn += ROn.Seconds;
+
+    T.row();
+    T.cell(I.Name);
+    T.cell(static_cast<int64_t>(Off.Labels));
+    T.cell(static_cast<int64_t>(On.Labels));
+    T.cell(static_cast<int64_t>(Off.Terms));
+    T.cell(static_cast<int64_t>(On.Terms));
+    T.cell(ROff.Seconds, 2);
+    T.cell(ROn.Seconds, 2);
+    T.cell(!BothAnswered              ? "t/o"
+           : ROff.Outcome == ROn.Outcome ? verdictName(ROn.Outcome)
+                                         : "MIXED");
+    std::fprintf(stderr, "  %-10s terms %zu -> %zu, %.2fs -> %.2fs\n",
+                 I.Name.c_str(), Off.Terms, On.Terms, ROff.Seconds,
+                 ROn.Seconds);
+  }
+
+  std::printf("%s\n", T.str().c_str());
+  double TermPct =
+      TermsOff ? 100.0 * static_cast<double>(TermsOff - TermsOn) /
+                     static_cast<double>(TermsOff)
+               : 0.0;
+  double LabelPct =
+      LabelsOff ? 100.0 * static_cast<double>(LabelsOff - LabelsOn) /
+                      static_cast<double>(LabelsOff)
+                : 0.0;
+  std::printf("totals: labels %zu -> %zu (-%.1f%%), VC terms %zu -> %zu "
+              "(-%.1f%%), verify time %.1fs -> %.1fs\n",
+              LabelsOff, LabelsOn, LabelPct, TermsOff, TermsOn, TermPct,
+              TimeOff, TimeOn);
+  std::printf("verdict disagreements: %u (must be 0 — the prepass is "
+              "verdict-preserving)\n",
+              Disagreements);
+  return Disagreements == 0 && TermsOn <= TermsOff ? 0 : 1;
+}

@@ -6,7 +6,7 @@
 //
 //   hbpl_verify FILE.hbpl [--entry NAME] [--bound N] [--strategy S]
 //               [--timeout SECS] [--inv] [--eager] [--passify]
-//               [--dump-cfg] [--dump-dag]
+//               [--no-prepass] [--lint] [--dump-cfg] [--dump-dag]
 //
 // Strategies: none (tree / SI), first (DI default), random, randompick,
 // maxc, opt. Exit code: 0 safe, 1 usage/parse error, 10 bug, 20 timeout or
@@ -16,6 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Lint.h"
 #include "cfg/Lower.h"
 #include "core/Consistency.h"
 #include "core/DotExport.h"
@@ -66,7 +67,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: hbpl_verify FILE.hbpl [--entry NAME] [--bound N] "
                "[--strategy none|first|random|randompick|maxc|opt] "
-               "[--timeout SECS] [--inv] [--eager] [--dump-cfg]\n");
+               "[--timeout SECS] [--inv] [--eager] [--no-prepass] [--lint] "
+               "[--dump-cfg]\n");
   return 1;
 }
 
@@ -80,6 +82,7 @@ int main(int argc, char **argv) {
   Opts.Engine.TimeoutSeconds = 300;
   bool DumpCfg = false;
   bool DumpDag = false;
+  bool Lint = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -117,6 +120,10 @@ int main(int argc, char **argv) {
       Opts.Engine.Eager = true;
     } else if (Arg == "--passify") {
       Opts.Engine.Pvc = PvcMode::Passified;
+    } else if (Arg == "--no-prepass") {
+      Opts.UsePrepass = false;
+    } else if (Arg == "--lint") {
+      Lint = true;
     } else if (Arg == "--dump-cfg") {
       DumpCfg = true;
     } else if (Arg == "--dump-dag") {
@@ -155,6 +162,14 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: no procedure named '%s'\n",
                  EntryName.c_str());
     return 1;
+  }
+
+  if (Lint) {
+    DiagEngine LintDiags;
+    LintReport LR = lintProgram(Ctx, *Prog, LintDiags);
+    if (LR.total() != 0)
+      std::printf("%s", LintDiags.str().c_str());
+    std::printf("lint: %u warning(s)\n\n", LR.total());
   }
 
   if (DumpCfg) {
@@ -201,6 +216,8 @@ int main(int argc, char **argv) {
   std::printf("verdict:   %s\n", verdictName(R.Result.Outcome));
   std::printf("bound:     %u\n", Opts.Bound);
   std::printf("asserts:   %u\n", R.NumAsserts);
+  if (Opts.UsePrepass)
+    std::printf("prepass:   %s\n", R.Prepass.str().c_str());
   std::printf("inlined:   %zu procedure instances (%zu merged calls)\n",
               R.Result.NumInlined, R.Result.NumMerged);
   std::printf("checks:    %zu solver calls in %zu iterations\n",

@@ -1,0 +1,645 @@
+//===- Dataflow.cpp -------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+#include "analysis/Slicer.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rmt;
+
+//===----------------------------------------------------------------------===//
+// ProcFlow
+//===----------------------------------------------------------------------===//
+
+ProcFlow::ProcFlow(const CfgProgram &Prog, ProcId P)
+    : Prog(Prog), P(P), Entry(Prog.proc(P).Entry) {
+  Topo = Prog.topoOrder(P);
+  Index.reserve(Topo.size());
+  for (unsigned I = 0; I < Topo.size(); ++I)
+    Index[Topo[I]] = I;
+  Preds.resize(Topo.size());
+  for (LabelId L : Prog.proc(P).Labels)
+    for (LabelId T : Prog.label(L).Targets)
+      Preds[Index.at(T)].push_back(L);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared utilities
+//===----------------------------------------------------------------------===//
+
+void rmt::collectExprVars(const Expr *E, std::set<Symbol> &Out) {
+  if (!E)
+    return;
+  std::vector<const Expr *> Stack{E};
+  while (!Stack.empty()) {
+    const Expr *Cur = Stack.back();
+    Stack.pop_back();
+    if (Cur->kind() == ExprKind::Var) {
+      Out.insert(Cur->var());
+      continue;
+    }
+    for (unsigned I = 0; I < Cur->numOps(); ++I)
+      Stack.push_back(I == 0 ? Cur->op0() : I == 1 ? Cur->op1() : Cur->op2());
+  }
+}
+
+std::vector<ProcEffects> rmt::computeProcEffects(const CfgProgram &Prog) {
+  std::unordered_set<Symbol> Globals;
+  for (const VarDecl &G : Prog.Globals)
+    Globals.insert(G.Name);
+
+  std::vector<ProcEffects> FX(Prog.Procs.size());
+  for (ProcId P : Prog.bottomUpProcOrder()) {
+    ProcEffects &E = FX[P];
+    auto AddUses = [&](const Expr *Ex) {
+      std::set<Symbol> Vars;
+      collectExprVars(Ex, Vars);
+      for (Symbol V : Vars)
+        if (Globals.count(V))
+          E.UseGlobals.insert(V);
+    };
+    for (LabelId L : Prog.proc(P).Labels) {
+      const CfgStmt &S = Prog.label(L).Stmt;
+      switch (S.Kind) {
+      case CfgStmtKind::Assume:
+        AddUses(S.E);
+        break;
+      case CfgStmtKind::Assign:
+        AddUses(S.E);
+        if (Globals.count(S.Target))
+          E.ModGlobals.insert(S.Target);
+        break;
+      case CfgStmtKind::Havoc:
+        for (Symbol V : S.Vars)
+          if (Globals.count(V))
+            E.ModGlobals.insert(V);
+        break;
+      case CfgStmtKind::Call: {
+        for (const Expr *A : S.Args)
+          AddUses(A);
+        for (Symbol V : S.Vars)
+          if (Globals.count(V))
+            E.ModGlobals.insert(V);
+        const ProcEffects &C = FX[S.Callee];
+        E.ModGlobals.insert(C.ModGlobals.begin(), C.ModGlobals.end());
+        E.UseGlobals.insert(C.UseGlobals.begin(), C.UseGlobals.end());
+        break;
+      }
+      }
+    }
+  }
+  return FX;
+}
+
+//===----------------------------------------------------------------------===//
+// Constant environment and folding
+//===----------------------------------------------------------------------===//
+
+bool ConstEnv::joinWith(const ConstEnv &O) {
+  if (O.Bottom)
+    return false;
+  if (Bottom) {
+    *this = O;
+    return true;
+  }
+  bool Changed = false;
+  for (auto It = Known.begin(); It != Known.end();) {
+    auto OIt = O.Known.find(It->first);
+    if (OIt == O.Known.end() || !(OIt->second == It->second)) {
+      It = Known.erase(It);
+      Changed = true;
+    } else {
+      ++It;
+    }
+  }
+  return Changed;
+}
+
+namespace {
+
+/// SMT-LIB Euclidean division/remainder; the divisor must be nonzero.
+int64_t euclideanMod(int64_t A, int64_t B) {
+  int64_t R = A % B;
+  if (R < 0)
+    R += (B > 0) ? B : -B;
+  return R;
+}
+
+int64_t euclideanDiv(int64_t A, int64_t B) {
+  return (A - euclideanMod(A, B)) / B;
+}
+
+} // namespace
+
+std::optional<ConstVal> rmt::evalConstExpr(const Expr *E,
+                                           const ConstEnv &Env) {
+  if (Env.isBottom())
+    return std::nullopt;
+  const Type *Ty = E->type();
+  // Bitvectors carry modular semantics we leave to the solver; arrays never
+  // fold.
+  if (!Ty || (!Ty->isInt() && !Ty->isBool()))
+    return std::nullopt;
+
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return ConstVal::ofInt(E->intValue());
+  case ExprKind::BoolLit:
+    return ConstVal::ofBool(E->boolValue());
+  case ExprKind::Var:
+    return Env.get(E->var());
+  case ExprKind::Unary: {
+    std::optional<ConstVal> V = evalConstExpr(E->op0(), Env);
+    if (!V)
+      return std::nullopt;
+    switch (E->unOp()) {
+    case UnOp::Not:
+      return ConstVal::ofBool(!V->V);
+    case UnOp::Neg:
+      if (V->V == INT64_MIN)
+        return std::nullopt;
+      return ConstVal::ofInt(-V->V);
+    }
+    return std::nullopt;
+  }
+  case ExprKind::Binary: {
+    std::optional<ConstVal> L = evalConstExpr(E->op0(), Env);
+    std::optional<ConstVal> R = evalConstExpr(E->op1(), Env);
+    switch (E->binOp()) {
+    // Short-circuit folds are exact: expressions are total, so an unknown
+    // operand cannot block evaluation.
+    case BinOp::And:
+      if ((L && !L->V) || (R && !R->V))
+        return ConstVal::ofBool(false);
+      if (L && L->V && R && R->V)
+        return ConstVal::ofBool(true);
+      return std::nullopt;
+    case BinOp::Or:
+      if ((L && L->V) || (R && R->V))
+        return ConstVal::ofBool(true);
+      if (L && !L->V && R && !R->V)
+        return ConstVal::ofBool(false);
+      return std::nullopt;
+    case BinOp::Implies:
+      if ((L && !L->V) || (R && R->V))
+        return ConstVal::ofBool(true);
+      if (L && L->V && R && !R->V)
+        return ConstVal::ofBool(false);
+      return std::nullopt;
+    default:
+      break;
+    }
+    if (!L || !R)
+      return std::nullopt;
+    int64_t Out;
+    switch (E->binOp()) {
+    case BinOp::Add:
+      if (__builtin_add_overflow(L->V, R->V, &Out))
+        return std::nullopt;
+      return ConstVal::ofInt(Out);
+    case BinOp::Sub:
+      if (__builtin_sub_overflow(L->V, R->V, &Out))
+        return std::nullopt;
+      return ConstVal::ofInt(Out);
+    case BinOp::Mul:
+      if (__builtin_mul_overflow(L->V, R->V, &Out))
+        return std::nullopt;
+      return ConstVal::ofInt(Out);
+    case BinOp::Div:
+      // x div 0 is uninterpreted in SMT; never fold it.
+      if (R->V == 0 || (L->V == INT64_MIN && R->V == -1))
+        return std::nullopt;
+      return ConstVal::ofInt(euclideanDiv(L->V, R->V));
+    case BinOp::Mod:
+      if (R->V == 0)
+        return std::nullopt;
+      return ConstVal::ofInt(euclideanMod(L->V, R->V));
+    case BinOp::Eq:
+      return ConstVal::ofBool(L->V == R->V);
+    case BinOp::Ne:
+      return ConstVal::ofBool(L->V != R->V);
+    case BinOp::Lt:
+      return ConstVal::ofBool(L->V < R->V);
+    case BinOp::Le:
+      return ConstVal::ofBool(L->V <= R->V);
+    case BinOp::Gt:
+      return ConstVal::ofBool(L->V > R->V);
+    case BinOp::Ge:
+      return ConstVal::ofBool(L->V >= R->V);
+    case BinOp::Iff:
+      return ConstVal::ofBool((L->V != 0) == (R->V != 0));
+    case BinOp::And:
+    case BinOp::Or:
+    case BinOp::Implies:
+      break; // handled above
+    }
+    return std::nullopt;
+  }
+  case ExprKind::Ite: {
+    std::optional<ConstVal> C = evalConstExpr(E->op0(), Env);
+    if (C)
+      return evalConstExpr(C->V ? E->op1() : E->op2(), Env);
+    std::optional<ConstVal> T = evalConstExpr(E->op1(), Env);
+    std::optional<ConstVal> F = evalConstExpr(E->op2(), Env);
+    if (T && F && *T == *F)
+      return T;
+    return std::nullopt;
+  }
+  case ExprKind::Select:
+  case ExprKind::Store:
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Constant propagation with branch pruning
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Conditions an `assume` imposes refine the environment: walking the
+/// expression under the assumed polarity picks up equalities with constants
+/// and definite boolean variables.
+void refineEnv(ConstEnv &Env, const Expr *E, bool Positive) {
+  switch (E->kind()) {
+  case ExprKind::Var:
+    if (E->type() && E->type()->isBool())
+      Env.set(E->var(), ConstVal::ofBool(Positive));
+    return;
+  case ExprKind::Unary:
+    if (E->unOp() == UnOp::Not)
+      refineEnv(Env, E->op0(), !Positive);
+    return;
+  case ExprKind::Binary: {
+    BinOp Op = E->binOp();
+    if ((Op == BinOp::And && Positive) || (Op == BinOp::Or && !Positive)) {
+      refineEnv(Env, E->op0(), Positive);
+      refineEnv(Env, E->op1(), Positive);
+      return;
+    }
+    if ((Op == BinOp::Eq && Positive) || (Op == BinOp::Ne && !Positive)) {
+      for (auto [VarSide, ValSide] :
+           {std::pair(E->op0(), E->op1()), std::pair(E->op1(), E->op0())}) {
+        if (VarSide->kind() != ExprKind::Var || !VarSide->type() ||
+            (!VarSide->type()->isInt() && !VarSide->type()->isBool()))
+          continue;
+        if (std::optional<ConstVal> V = evalConstExpr(ValSide, Env))
+          Env.set(VarSide->var(), *V);
+      }
+    }
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+/// Forward must-constant analysis over one procedure. Calls clobber their
+/// result bindings and the callee's transitive global mod-set.
+class ConstPropAnalysis {
+public:
+  using Value = ConstEnv;
+  static constexpr FlowDirection Direction = FlowDirection::Forward;
+
+  explicit ConstPropAnalysis(const std::vector<ProcEffects> &FX) : FX(FX) {}
+
+  Value bottom() const { return ConstEnv::bottomEnv(); }
+  Value boundary() const { return ConstEnv::topEnv(); }
+  bool join(Value &Into, const Value &From) const {
+    return Into.joinWith(From);
+  }
+
+  Value transfer(LabelId, const CfgStmt &S, const Value &In) const {
+    if (In.isBottom())
+      return In;
+    Value Out = In;
+    switch (S.Kind) {
+    case CfgStmtKind::Assume: {
+      std::optional<ConstVal> V = evalConstExpr(S.E, In);
+      if (V && !V->V)
+        return ConstEnv::bottomEnv();
+      refineEnv(Out, S.E, /*Positive=*/true);
+      break;
+    }
+    case CfgStmtKind::Assign: {
+      if (std::optional<ConstVal> V = evalConstExpr(S.E, In))
+        Out.set(S.Target, *V);
+      else
+        Out.forget(S.Target);
+      break;
+    }
+    case CfgStmtKind::Havoc:
+      for (Symbol V : S.Vars)
+        Out.forget(V);
+      break;
+    case CfgStmtKind::Call:
+      for (Symbol V : S.Vars)
+        Out.forget(V);
+      for (Symbol G : FX[S.Callee].ModGlobals)
+        Out.forget(G);
+      break;
+    }
+    return Out;
+  }
+
+private:
+  const std::vector<ProcEffects> &FX;
+};
+
+bool isLiteralExpr(const Expr *E) {
+  return E->kind() == ExprKind::IntLit || E->kind() == ExprKind::BoolLit;
+}
+
+/// Runs constant propagation over every procedure: folds expressions to
+/// literals, cuts the successors of definitely-false assumes, and deletes
+/// labels no execution reaches.
+void runConstPass(AstContext &Ctx, CfgProgram &Prog, PrepassReport &R) {
+  std::vector<ProcEffects> FX = computeProcEffects(Prog);
+  std::vector<bool> Keep(Prog.Labels.size(), true);
+  ConstPropAnalysis A(FX);
+
+  for (ProcId P = 0; P < Prog.Procs.size(); ++P) {
+    ProcFlow Flow(Prog, P);
+    DataflowSolver<ConstPropAnalysis> Solver(Flow, A);
+    Solver.solve();
+
+    for (LabelId L : Prog.proc(P).Labels) {
+      if (Solver.pre(L).isBottom()) {
+        Keep[L] = false;
+        continue;
+      }
+      CfgStmt &S = Prog.Labels[L].Stmt;
+      switch (S.Kind) {
+      case CfgStmtKind::Assume: {
+        std::optional<ConstVal> V = evalConstExpr(S.E, Solver.pre(L));
+        if (!V)
+          break;
+        if (!isLiteralExpr(S.E)) {
+          S.E = Ctx.tBool(V->V != 0);
+          ++R.FoldedExprs;
+        }
+        // A blocked label never completes, so its out-edges are dead.
+        if (!V->V)
+          Prog.Labels[L].Targets.clear();
+        break;
+      }
+      case CfgStmtKind::Assign: {
+        std::optional<ConstVal> V = evalConstExpr(S.E, Solver.pre(L));
+        if (V && !isLiteralExpr(S.E)) {
+          S.E = V->IsBool ? Ctx.tBool(V->V != 0) : Ctx.tInt(V->V);
+          ++R.FoldedExprs;
+        }
+        break;
+      }
+      case CfgStmtKind::Havoc:
+      case CfgStmtKind::Call:
+        break;
+      }
+    }
+  }
+  R.PrunedLabels = compactLabels(Prog, Keep);
+}
+
+bool isSkipLabel(const CfgLabel &L) {
+  return L.Stmt.Kind == CfgStmtKind::Assume && L.Stmt.E &&
+         L.Stmt.E->kind() == ExprKind::BoolLit && L.Stmt.E->boolValue();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Structural compaction
+//===----------------------------------------------------------------------===//
+
+unsigned rmt::compactLabels(CfgProgram &Prog,
+                            const std::vector<bool> &KeepLabel) {
+  assert(KeepLabel.size() == Prog.Labels.size());
+  size_t Before = Prog.Labels.size();
+
+  std::vector<LabelId> NewId(Before, InvalidLabel);
+  LabelId Next = 0;
+  for (LabelId L = 0; L < Before; ++L)
+    if (KeepLabel[L])
+      NewId[L] = Next++;
+  if (Next == Before)
+    return 0;
+
+  std::vector<CfgLabel> NewLabels;
+  NewLabels.reserve(Next);
+  for (LabelId L = 0; L < Before; ++L) {
+    if (!KeepLabel[L])
+      continue;
+    CfgLabel Lbl = std::move(Prog.Labels[L]);
+    std::vector<LabelId> Targets;
+    Targets.reserve(Lbl.Targets.size());
+    for (LabelId T : Lbl.Targets)
+      if (NewId[T] != InvalidLabel)
+        Targets.push_back(NewId[T]);
+    Lbl.Targets = std::move(Targets);
+    NewLabels.push_back(std::move(Lbl));
+  }
+  Prog.Labels = std::move(NewLabels);
+
+  for (CfgProc &P : Prog.Procs) {
+    assert(NewId[P.Entry] != InvalidLabel &&
+           "procedure entry labels must be kept");
+    P.Entry = NewId[P.Entry];
+    std::vector<LabelId> Kept;
+    Kept.reserve(P.Labels.size());
+    for (LabelId L : P.Labels)
+      if (NewId[L] != InvalidLabel)
+        Kept.push_back(NewId[L]);
+    P.Labels = std::move(Kept);
+  }
+  return static_cast<unsigned>(Before - Next);
+}
+
+unsigned rmt::dropDeadProcs(CfgProgram &Prog, ProcId &Root) {
+  size_t NumProcs = Prog.Procs.size();
+  std::vector<char> Reach(NumProcs, 0);
+  std::vector<ProcId> Work{Root};
+  Reach[Root] = 1;
+  while (!Work.empty()) {
+    ProcId P = Work.back();
+    Work.pop_back();
+    for (ProcId C : Prog.calleesOf(P))
+      if (!Reach[C]) {
+        Reach[C] = 1;
+        Work.push_back(C);
+      }
+  }
+
+  unsigned Removed = 0;
+  for (ProcId P = 0; P < NumProcs; ++P)
+    if (!Reach[P])
+      ++Removed;
+  if (Removed == 0)
+    return 0;
+
+  // Drop the dead procedures' labels first (their entries go with them), then
+  // renumber the surviving procedures.
+  std::vector<ProcId> NewId(NumProcs, InvalidProc);
+  ProcId NextProc = 0;
+  for (ProcId P = 0; P < NumProcs; ++P)
+    if (Reach[P])
+      NewId[P] = NextProc++;
+
+  std::vector<bool> KeepLabel(Prog.Labels.size());
+  for (LabelId L = 0; L < Prog.Labels.size(); ++L)
+    KeepLabel[L] = Reach[Prog.Labels[L].Proc] != 0;
+
+  std::vector<CfgProc> NewProcs;
+  NewProcs.reserve(NextProc);
+  for (ProcId P = 0; P < NumProcs; ++P)
+    if (Reach[P])
+      NewProcs.push_back(std::move(Prog.Procs[P]));
+  Prog.Procs = std::move(NewProcs);
+
+  compactLabels(Prog, KeepLabel);
+
+  for (CfgLabel &Lbl : Prog.Labels) {
+    Lbl.Proc = NewId[Lbl.Proc];
+    if (Lbl.Stmt.Kind == CfgStmtKind::Call) {
+      assert(NewId[Lbl.Stmt.Callee] != InvalidProc &&
+             "live label calls a dead procedure");
+      Lbl.Stmt.Callee = NewId[Lbl.Stmt.Callee];
+    }
+  }
+  Root = NewId[Root];
+  assert(Root != InvalidProc);
+  return Removed;
+}
+
+unsigned rmt::spliceSkips(CfgProgram &Prog) {
+  size_t N = Prog.Labels.size();
+
+  // Resolve each label to the labels that replace it as a jump target:
+  // non-skips and skip returns stand for themselves; a skip with successors
+  // stands for its resolved successors. Reverse-topological order makes this
+  // a single pass.
+  std::vector<std::vector<LabelId>> Resolved(N);
+  for (ProcId P = 0; P < Prog.Procs.size(); ++P) {
+    std::vector<LabelId> Topo = Prog.topoOrder(P);
+    for (auto It = Topo.rbegin(); It != Topo.rend(); ++It) {
+      LabelId L = *It;
+      const CfgLabel &Lbl = Prog.label(L);
+      if (!isSkipLabel(Lbl) || Lbl.Targets.empty()) {
+        Resolved[L] = {L};
+        continue;
+      }
+      std::vector<LabelId> R;
+      for (LabelId T : Lbl.Targets)
+        for (LabelId X : Resolved[T])
+          if (std::find(R.begin(), R.end(), X) == R.end())
+            R.push_back(X);
+      Resolved[L] = std::move(R);
+    }
+  }
+
+  // Rewire every target list through the resolution, and let a label whose
+  // only remaining successor is a skip return (a no-op before returning)
+  // return directly.
+  for (CfgLabel &Lbl : Prog.Labels) {
+    std::vector<LabelId> NewTargets;
+    for (LabelId T : Lbl.Targets)
+      for (LabelId X : Resolved[T])
+        if (std::find(NewTargets.begin(), NewTargets.end(), X) ==
+            NewTargets.end())
+          NewTargets.push_back(X);
+    if (NewTargets.size() == 1) {
+      const CfgLabel &T = Prog.label(NewTargets[0]);
+      if (isSkipLabel(T) && T.Targets.empty())
+        NewTargets.clear();
+    }
+    Lbl.Targets = std::move(NewTargets);
+  }
+
+  // Fast-forward entries through straight-line skips.
+  for (CfgProc &P : Prog.Procs) {
+    for (;;) {
+      const CfgLabel &E = Prog.label(P.Entry);
+      if (!isSkipLabel(E) || E.Targets.size() != 1)
+        break;
+      P.Entry = E.Targets[0];
+    }
+  }
+
+  // Sweep everything the rewiring orphaned.
+  std::vector<bool> Keep(N, false);
+  for (const CfgProc &P : Prog.Procs) {
+    std::vector<LabelId> Work{P.Entry};
+    Keep[P.Entry] = true;
+    while (!Work.empty()) {
+      LabelId L = Work.back();
+      Work.pop_back();
+      for (LabelId T : Prog.label(L).Targets)
+        if (!Keep[T]) {
+          Keep[T] = true;
+          Work.push_back(T);
+        }
+    }
+  }
+  return compactLabels(Prog, Keep);
+}
+
+//===----------------------------------------------------------------------===//
+// The prepass pipeline
+//===----------------------------------------------------------------------===//
+
+void PrepassReport::record(Stats &S) const {
+  S.add("prepass.labels.before", static_cast<int64_t>(LabelsBefore));
+  S.add("prepass.labels.after", static_cast<int64_t>(LabelsAfter));
+  S.add("prepass.procs.before", static_cast<int64_t>(ProcsBefore));
+  S.add("prepass.procs.after", static_cast<int64_t>(ProcsAfter));
+  S.add("prepass.labels.pruned", PrunedLabels);
+  S.add("prepass.labels.spliced", SplicedLabels);
+  S.add("prepass.exprs.folded", FoldedExprs);
+  S.add("prepass.stmts.sliced", SlicedStmts);
+  S.add("prepass.calls.elided", ElidedCalls);
+  S.add("prepass.procs.dead", DeadProcs);
+}
+
+std::string PrepassReport::str() const {
+  std::string Out;
+  Out += "labels " + std::to_string(LabelsBefore) + " -> " +
+         std::to_string(LabelsAfter);
+  Out += ", procs " + std::to_string(ProcsBefore) + " -> " +
+         std::to_string(ProcsAfter);
+  Out += " (pruned " + std::to_string(PrunedLabels) + ", sliced " +
+         std::to_string(SlicedStmts) + ", spliced " +
+         std::to_string(SplicedLabels) + ", folded " +
+         std::to_string(FoldedExprs) + ", elided calls " +
+         std::to_string(ElidedCalls) + ", dead procs " +
+         std::to_string(DeadProcs) + ")";
+  return Out;
+}
+
+PrepassReport rmt::runPrepass(AstContext &Ctx, CfgProgram &Prog,
+                              ProcId &Root, std::optional<Symbol> ErrGlobal,
+                              const PrepassOptions &Opts) {
+  PrepassReport R;
+  R.LabelsBefore = Prog.Labels.size();
+  R.ProcsBefore = Prog.Procs.size();
+
+  if (Opts.ConstantFold)
+    runConstPass(Ctx, Prog, R);
+
+  if (Opts.Slice) {
+    SliceReport S = sliceForQuery(Ctx, Prog, Root, ErrGlobal);
+    R.SlicedStmts = S.StmtsDropped;
+    R.ElidedCalls = S.CallsElided;
+  }
+
+  if (Opts.SpliceSkips)
+    R.SplicedLabels = spliceSkips(Prog);
+
+  if (Opts.DeadProcElim)
+    R.DeadProcs = dropDeadProcs(Prog, Root);
+
+  R.LabelsAfter = Prog.Labels.size();
+  R.ProcsAfter = Prog.Procs.size();
+  return R;
+}

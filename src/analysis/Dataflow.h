@@ -1,0 +1,318 @@
+//===- Dataflow.h - Generic worklist dataflow over CfgProgram ---*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small generic dataflow framework over the paper's label form, plus the
+/// static-analysis prepass built on top of it.
+///
+/// Hierarchical programs have acyclic intraprocedural flow graphs, so every
+/// monotone analysis converges in a single pass over a topological order.
+/// The solver is still a worklist algorithm (it re-enqueues on change), which
+/// keeps it correct on any graph and makes the acyclic case exactly one visit
+/// per label.
+///
+/// Analyses plug in as a type with:
+///
+///   using Value = ...;                       // the lattice
+///   static constexpr FlowDirection Direction;
+///   Value bottom() const;                    // join identity ("unreachable")
+///   Value boundary() const;                  // entry (fwd) / exit (bwd) state
+///   bool join(Value &Into, const Value &From) const;  // true if Into grew
+///   Value transfer(LabelId L, const CfgStmt &S, const Value &X) const;
+///
+/// For a forward analysis, pre(L) is the join over predecessors' post states
+/// (boundary at the procedure entry) and post(L) = transfer(pre(L)). For a
+/// backward analysis the roles flip: post(L) joins the successors' pre states
+/// (boundary at exit labels, i.e. labels with no successors) and
+/// pre(L) = transfer(post(L)). Pre/post are always named in *program* order.
+///
+/// On top of the framework this header exposes the verification prepass:
+/// constant propagation with assume-false branch pruning, cone-of-influence
+/// slicing (see Slicer.h), skip-chain compaction, and dead-procedure
+/// elimination, composed by runPrepass().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_ANALYSIS_DATAFLOW_H
+#define RMT_ANALYSIS_DATAFLOW_H
+
+#include "ast/AstContext.h"
+#include "cfg/Cfg.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace rmt {
+
+//===----------------------------------------------------------------------===//
+// Flow-graph view
+//===----------------------------------------------------------------------===//
+
+/// Per-procedure view of the intraprocedural flow graph: predecessor lists,
+/// a dense label index, and a topological order (entry-first).
+class ProcFlow {
+public:
+  ProcFlow(const CfgProgram &Prog, ProcId P);
+
+  ProcId proc() const { return P; }
+  LabelId entry() const { return Entry; }
+  size_t size() const { return Topo.size(); }
+
+  /// Labels in topological order of the flow graph.
+  const std::vector<LabelId> &topo() const { return Topo; }
+
+  unsigned indexOf(LabelId L) const { return Index.at(L); }
+  const std::vector<LabelId> &preds(LabelId L) const {
+    return Preds[indexOf(L)];
+  }
+  const std::vector<LabelId> &succs(LabelId L) const {
+    return Prog.label(L).Targets;
+  }
+
+  const CfgProgram &program() const { return Prog; }
+
+private:
+  const CfgProgram &Prog;
+  ProcId P;
+  LabelId Entry;
+  std::vector<LabelId> Topo;
+  std::unordered_map<LabelId, unsigned> Index;
+  std::vector<std::vector<LabelId>> Preds;
+};
+
+/// Direction of a dataflow analysis.
+enum class FlowDirection { Forward, Backward };
+
+//===----------------------------------------------------------------------===//
+// Worklist solver
+//===----------------------------------------------------------------------===//
+
+template <typename Analysis> class DataflowSolver {
+public:
+  using Value = typename Analysis::Value;
+
+  DataflowSolver(const ProcFlow &Flow, const Analysis &A) : Flow(Flow), A(A) {}
+
+  void solve() {
+    constexpr bool Fwd = Analysis::Direction == FlowDirection::Forward;
+    size_t N = Flow.size();
+    Pre.assign(N, A.bottom());
+    Post.assign(N, A.bottom());
+
+    // Seed in solve order: one visit per label suffices on acyclic graphs.
+    std::deque<LabelId> Work(Flow.topo().begin(), Flow.topo().end());
+    if (!Fwd)
+      std::reverse(Work.begin(), Work.end());
+    std::vector<char> Queued(N, 1);
+
+    while (!Work.empty()) {
+      LabelId L = Work.front();
+      Work.pop_front();
+      unsigned I = Flow.indexOf(L);
+      Queued[I] = 0;
+      const CfgStmt &S = Flow.program().label(L).Stmt;
+
+      if (Fwd) {
+        Value In = L == Flow.entry() ? A.boundary() : A.bottom();
+        for (LabelId P : Flow.preds(L))
+          A.join(In, Post[Flow.indexOf(P)]);
+        Pre[I] = std::move(In);
+        Value Out = A.transfer(L, S, Pre[I]);
+        if (A.join(Post[I], Out))
+          for (LabelId T : Flow.succs(L))
+            enqueue(Work, Queued, T);
+      } else {
+        Value Out = Flow.succs(L).empty() ? A.boundary() : A.bottom();
+        for (LabelId T : Flow.succs(L))
+          A.join(Out, Pre[Flow.indexOf(T)]);
+        Post[I] = std::move(Out);
+        Value In = A.transfer(L, S, Post[I]);
+        if (A.join(Pre[I], In))
+          for (LabelId P : Flow.preds(L))
+            enqueue(Work, Queued, P);
+      }
+    }
+  }
+
+  /// State before the label's statement executes.
+  const Value &pre(LabelId L) const { return Pre[Flow.indexOf(L)]; }
+  /// State after the label's statement executes.
+  const Value &post(LabelId L) const { return Post[Flow.indexOf(L)]; }
+
+private:
+  void enqueue(std::deque<LabelId> &Work, std::vector<char> &Queued,
+               LabelId L) {
+    unsigned I = Flow.indexOf(L);
+    if (!Queued[I]) {
+      Queued[I] = 1;
+      Work.push_back(L);
+    }
+  }
+
+  const ProcFlow &Flow;
+  const Analysis &A;
+  std::vector<Value> Pre;
+  std::vector<Value> Post;
+};
+
+//===----------------------------------------------------------------------===//
+// Shared utilities
+//===----------------------------------------------------------------------===//
+
+/// Collects every variable occurring in \p E into \p Out.
+void collectExprVars(const Expr *E, std::set<Symbol> &Out);
+
+/// Transitive may-effect summary of a procedure on the globals.
+struct ProcEffects {
+  std::unordered_set<Symbol> ModGlobals; ///< globals possibly written
+  std::unordered_set<Symbol> UseGlobals; ///< globals possibly read
+};
+
+/// Bottom-up (callees-first) may-mod/may-use sets over the acyclic call
+/// graph, indexed by ProcId.
+std::vector<ProcEffects> computeProcEffects(const CfgProgram &Prog);
+
+//===----------------------------------------------------------------------===//
+// Constant propagation
+//===----------------------------------------------------------------------===//
+
+/// A known constant value (int, bool, or bitvector payload as int64).
+struct ConstVal {
+  bool IsBool = false;
+  int64_t V = 0;
+
+  static ConstVal ofInt(int64_t V) { return {false, V}; }
+  static ConstVal ofBool(bool B) { return {true, B ? 1 : 0}; }
+
+  friend bool operator==(const ConstVal &A, const ConstVal &B) {
+    return A.IsBool == B.IsBool && A.V == B.V;
+  }
+};
+
+/// Must-constant environment: missing variables are unknown (top); Bottom
+/// means the program point is unreachable.
+class ConstEnv {
+public:
+  static ConstEnv bottomEnv() {
+    ConstEnv E;
+    E.Bottom = true;
+    return E;
+  }
+  static ConstEnv topEnv() { return ConstEnv(); }
+
+  bool isBottom() const { return Bottom; }
+
+  std::optional<ConstVal> get(Symbol Var) const {
+    auto It = Known.find(Var);
+    return It == Known.end() ? std::nullopt : std::optional(It->second);
+  }
+  void set(Symbol Var, ConstVal V) {
+    if (!Bottom)
+      Known[Var] = V;
+  }
+  void forget(Symbol Var) { Known.erase(Var); }
+
+  /// Join: keep only bindings both sides agree on. Returns true on change.
+  bool joinWith(const ConstEnv &O);
+
+  friend bool operator==(const ConstEnv &A, const ConstEnv &B) {
+    if (A.Bottom || B.Bottom)
+      return A.Bottom == B.Bottom;
+    return A.Known == B.Known;
+  }
+
+  const std::unordered_map<Symbol, ConstVal> &values() const { return Known; }
+
+private:
+  bool Bottom = false;
+  std::unordered_map<Symbol, ConstVal> Known;
+};
+
+/// Evaluates \p E to a constant under \p Env when possible. Only int- and
+/// bool-typed expressions fold; division by a (possibly) zero constant and
+/// anything overflowing int64 stay unknown. Boolean connectives fold
+/// short-circuit style (false && unknown == false), which is exact because
+/// expressions are total.
+std::optional<ConstVal> evalConstExpr(const Expr *E, const ConstEnv &Env);
+
+//===----------------------------------------------------------------------===//
+// The verification prepass
+//===----------------------------------------------------------------------===//
+
+/// Pass toggles (all on by default).
+struct PrepassOptions {
+  /// Constant propagation, expression folding, assume-false branch pruning.
+  bool ConstantFold = true;
+  /// Cone-of-influence slicing from the reachability query (Slicer.h).
+  bool Slice = true;
+  /// Splice out `assume true` skip labels.
+  bool SpliceSkips = true;
+  /// Drop procedures unreachable from the root in the call graph.
+  bool DeadProcElim = true;
+};
+
+/// What the prepass did, for Stats and reporting.
+struct PrepassReport {
+  size_t LabelsBefore = 0, LabelsAfter = 0;
+  size_t ProcsBefore = 0, ProcsAfter = 0;
+  /// Labels deleted because constant propagation proved them unreachable.
+  unsigned PrunedLabels = 0;
+  /// Expressions rewritten to literals.
+  unsigned FoldedExprs = 0;
+  /// Statements the slicer reduced to skips (plus havoc lists shrunk).
+  unsigned SlicedStmts = 0;
+  /// Calls to effect-free procedures elided by the slicer.
+  unsigned ElidedCalls = 0;
+  /// Skip labels spliced out of the flow graph.
+  unsigned SplicedLabels = 0;
+  /// Procedures removed by call-graph reachability.
+  unsigned DeadProcs = 0;
+
+  /// Records every counter into \p S under "prepass.*" keys.
+  void record(Stats &S) const;
+  /// One-line human-readable summary.
+  std::string str() const;
+};
+
+/// Deletes labels with KeepLabel[L] == false, renumbering labels and
+/// filtering target lists. Entry labels of every procedure must be kept.
+/// Returns the number of labels removed.
+unsigned compactLabels(CfgProgram &Prog, const std::vector<bool> &KeepLabel);
+
+/// Removes procedures unreachable from \p Root in the call graph (and their
+/// labels), renumbering ProcIds. Updates \p Root. Returns procedures removed.
+unsigned dropDeadProcs(CfgProgram &Prog, ProcId &Root);
+
+/// Splices `assume true` labels out of every flow graph (fast-forwarding
+/// entries, short-circuiting skip chains, and collapsing skip-only returns),
+/// then removes labels no longer reachable from their procedure entry.
+/// Returns the number of labels removed.
+unsigned spliceSkips(CfgProgram &Prog);
+
+/// Runs the full prepass pipeline on \p Prog rooted at \p Root:
+///
+///   constant folding + branch pruning  →  query slicing  →  skip splicing
+///   →  dead-procedure elimination.
+///
+/// \p ErrGlobal is the reachability query variable ($err); when nullopt the
+/// query is plain termination reachability and only control-flow-relevant
+/// variables are kept. \p Root is updated if procedures are renumbered.
+/// Every transformation is verdict-preserving: the pruned program has a
+/// terminating $err-execution iff the original does, and every surviving
+/// counterexample is a counterexample of the original.
+PrepassReport runPrepass(AstContext &Ctx, CfgProgram &Prog, ProcId &Root,
+                         std::optional<Symbol> ErrGlobal,
+                         const PrepassOptions &Opts = {});
+
+} // namespace rmt
+
+#endif // RMT_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,62 @@
+//===- Lint.h - HBPL lint diagnostics ---------------------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lint pass over checked HBPL programs, reporting through DiagEngine:
+///
+///  * use-before-def — a local or return variable read on some path before
+///    any assignment, havoc, or call result reaches it;
+///  * unreachable code — statements no control-flow path from the procedure
+///    entry reaches (e.g. code after `return`);
+///  * dead stores — assignments to locals whose value no later statement can
+///    read;
+///  * havoc of undeclared variables.
+///
+/// The pass reuses the verification front half: asserts become empty
+/// branches (so their conditions still count as reads), loops are unrolled a
+/// couple of times (so loop-carried definitions are seen), and the analyses
+/// from Dataflow.h run on the lowered label form. Statement copies produced
+/// by unrolling are reconciled by source location: a statement is flagged
+/// unreachable or dead only when *every* copy is, and flagged use-before-def
+/// when *any* copy is.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_ANALYSIS_LINT_H
+#define RMT_ANALYSIS_LINT_H
+
+#include "ast/AstContext.h"
+#include "ast/Stmt.h"
+#include "support/Diag.h"
+
+namespace rmt {
+
+struct LintOptions {
+  /// Loop copies used to build the lintable CFG. Two keeps loop-carried
+  /// definitions from reading as dead stores or use-before-def.
+  unsigned UnrollBound = 2;
+};
+
+/// Count of diagnostics per category.
+struct LintReport {
+  unsigned UseBeforeDef = 0;
+  unsigned UnreachableCode = 0;
+  unsigned DeadStores = 0;
+  unsigned UndeclaredHavocs = 0;
+
+  unsigned total() const {
+    return UseBeforeDef + UnreachableCode + DeadStores + UndeclaredHavocs;
+  }
+};
+
+/// Lints \p Prog (which must be type-checked), emitting warnings into
+/// \p Diags in source order. Never emits errors.
+LintReport lintProgram(AstContext &Ctx, const Program &Prog,
+                       DiagEngine &Diags, const LintOptions &Opts = {});
+
+} // namespace rmt
+
+#endif // RMT_ANALYSIS_LINT_H

@@ -1,0 +1,89 @@
+//===- Slicer.h - Cone-of-influence query slicing ---------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Slices a lowered program against its reachability query, keeping exactly
+/// the statements that can influence the verdict.
+///
+/// The query asks for a terminating execution of the root (with the $err
+/// global true on exit when the program came from assert instrumentation).
+/// Two things influence it: which paths can complete — governed by `assume`
+/// conditions — and the value of $err at exit. The slicer therefore:
+///
+///  1. computes a flow-insensitive *relevance* closure over variables,
+///     seeded with every variable read by an assume and with $err, closed
+///     under assignment, call-argument and call-result dataflow;
+///  2. runs a backward *strong liveness* pass per procedure (an instance of
+///     the Dataflow.h framework) with the relevant globals and returns live
+///     at procedure exit, and deletes assignments and havocs whose target is
+///     dead — their value can never reach an assume or the query variable;
+///  3. elides calls to procedures whose body is nothing but skips: such a
+///     callee always returns, and its (never-assigned) returns are
+///     nondeterministic, so the call is equivalent to havocking the live
+///     result bindings.
+///
+/// Every rewrite is verdict-preserving in both directions: dropped statements
+/// only produce values no surviving statement ever reads, so executions of
+/// the sliced and unsliced programs are in a bijection that preserves
+/// termination and the exit value of $err.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_ANALYSIS_SLICER_H
+#define RMT_ANALYSIS_SLICER_H
+
+#include "ast/AstContext.h"
+#include "cfg/Cfg.h"
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+namespace rmt {
+
+/// Flow-insensitive relevance closure: which variables can influence an
+/// assume condition or the query variable. Globals are tracked program-wide,
+/// locals (incl. params and returns) per procedure.
+class Relevance {
+public:
+  Relevance(const CfgProgram &Prog, std::optional<Symbol> ErrGlobal);
+
+  /// Is \p V (seen from procedure \p P) relevant to the query?
+  bool relevant(ProcId P, Symbol V) const {
+    if (GlobalSet.count(V))
+      return RelGlobals.count(V) != 0;
+    return RelLocals[P].count(V) != 0;
+  }
+  bool relevantGlobal(Symbol V) const { return RelGlobals.count(V) != 0; }
+
+  size_t numRelevantGlobals() const { return RelGlobals.size(); }
+
+private:
+  std::unordered_set<Symbol> GlobalSet;
+  std::unordered_set<Symbol> RelGlobals;
+  std::vector<std::unordered_set<Symbol>> RelLocals;
+};
+
+/// What the slicer removed.
+struct SliceReport {
+  /// Assignments and havocs rewritten to `assume true`.
+  unsigned StmtsDropped = 0;
+  /// Variables removed from surviving havoc lists.
+  unsigned HavocVarsDropped = 0;
+  /// Calls to skip-only procedures elided (rewritten to havoc or skip).
+  unsigned CallsElided = 0;
+};
+
+/// Slices \p Prog in place against the reachability query of \p Root.
+/// \p ErrGlobal is the $err query variable; nullopt for plain termination
+/// reachability. Statements are rewritten to skips rather than deleted —
+/// run spliceSkips() afterwards to compact the flow graph.
+SliceReport sliceForQuery(AstContext &Ctx, CfgProgram &Prog, ProcId Root,
+                          std::optional<Symbol> ErrGlobal);
+
+} // namespace rmt
+
+#endif // RMT_ANALYSIS_SLICER_H

@@ -27,6 +27,16 @@ VerifierRunResult rmt::verifyProgram(AstContext &Ctx, const Program &Prog,
   ProcId EntryProc = Cfg.findProc(Instance.Entry);
   assert(EntryProc != InvalidProc && "entry lost during lowering");
 
+  Out.NumProcsSolved = Out.NumProcs;
+  Out.NumLabelsSolved = Out.NumLabels;
+  if (Opts.UsePrepass) {
+    Out.Prepass =
+        runPrepass(Ctx, Cfg, EntryProc, Instance.ErrVar, Opts.Prepass);
+    Out.Prepass.record(Out.PrepassStats);
+    Out.NumProcsSolved = Cfg.Procs.size();
+    Out.NumLabelsSolved = Cfg.Labels.size();
+  }
+
   if (Opts.UseInvariants) {
     InvariantReport Report = injectInvariants(Ctx, Cfg, EntryProc);
     Out.InvariantConjuncts = Report.Conjuncts;

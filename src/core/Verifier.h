@@ -18,6 +18,7 @@
 #ifndef RMT_CORE_VERIFIER_H
 #define RMT_CORE_VERIFIER_H
 
+#include "analysis/Dataflow.h"
 #include "core/Engine.h"
 
 #include <string>
@@ -30,6 +31,13 @@ struct VerifierOptions {
   unsigned Bound = 2;
   /// Run the interval-invariant prepass ("+Inv" of Section 4).
   bool UseInvariants = false;
+  /// Run the static-analysis prepass (constant folding, branch pruning,
+  /// query slicing, skip splicing, dead-procedure elimination) on the
+  /// lowered program before the engine. On by default; --no-prepass in the
+  /// CLI.
+  bool UsePrepass = true;
+  /// Fine-grained prepass toggles (only consulted when UsePrepass).
+  PrepassOptions Prepass;
   /// Engine configuration (strategy, timeout, eager mode, limits).
   EngineOptions Engine;
 };
@@ -43,6 +51,14 @@ struct VerifierRunResult {
   size_t NumProcs = 0;
   /// Labels after bounding.
   size_t NumLabels = 0;
+  /// Program size the engine actually saw (== the above with the prepass
+  /// off).
+  size_t NumProcsSolved = 0;
+  size_t NumLabelsSolved = 0;
+  /// What the prepass did (all zeros with the prepass off).
+  PrepassReport Prepass;
+  /// Per-pass reduction counters under "prepass.*" keys.
+  Stats PrepassStats;
   /// Invariant conjuncts injected (0 without +Inv).
   unsigned InvariantConjuncts = 0;
   /// Rendered counterexample (empty unless the verdict is Bug).

@@ -1,0 +1,656 @@
+//===- dataflow_test.cpp - Dataflow framework, prepass, and lint ------------===//
+
+#include "analysis/Dataflow.h"
+#include "analysis/Lint.h"
+#include "analysis/Slicer.h"
+#include "cfg/Lower.h"
+#include "core/Verifier.h"
+#include "parser/Parser.h"
+#include "transform/Transforms.h"
+
+#include <gtest/gtest.h>
+
+using namespace rmt;
+
+namespace {
+
+std::optional<Program> parse(const char *Src, AstContext &Ctx) {
+  DiagEngine Diags;
+  std::optional<Program> P = parseAndCheck(Src, Ctx, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return P;
+}
+
+/// Lowers a checked program through the bounding pipeline, like the verifier
+/// does before its prepass.
+CfgProgram lower(AstContext &Ctx, const Program &P, ProcId &Root,
+                 Symbol &ErrVar, unsigned Bound = 2) {
+  BoundedInstance Inst = prepareBounded(Ctx, P, Ctx.sym("main"), Bound);
+  CfgProgram Cfg = lowerToCfg(Ctx, Inst.Prog);
+  Root = Cfg.findProc(Inst.Entry);
+  ErrVar = Inst.ErrVar;
+  EXPECT_NE(Root, InvalidProc);
+  return Cfg;
+}
+
+CfgStmt assignStmt(Symbol Target, const Expr *Rhs) {
+  CfgStmt S;
+  S.Kind = CfgStmtKind::Assign;
+  S.Target = Target;
+  S.E = Rhs;
+  return S;
+}
+
+CfgStmt assumeStmt(const Expr *Cond) {
+  CfgStmt S;
+  S.Kind = CfgStmtKind::Assume;
+  S.E = Cond;
+  return S;
+}
+
+/// Hand-built single-procedure program; labels are appended with explicit
+/// successor lists.
+struct CfgBuilder {
+  CfgProgram Prog;
+
+  explicit CfgBuilder(AstContext &Ctx) {
+    Prog.Procs.resize(1);
+    Prog.Procs[0].Name = Ctx.sym("p");
+    Prog.Procs[0].Entry = 0;
+  }
+  LabelId add(CfgStmt S, std::vector<LabelId> Targets) {
+    LabelId L = static_cast<LabelId>(Prog.Labels.size());
+    Prog.Labels.push_back({std::move(S), std::move(Targets), 0, SrcLoc{}});
+    Prog.Procs[0].Labels.push_back(L);
+    return L;
+  }
+};
+
+/// Test analysis: forward constant tracking built from the public pieces
+/// (ConstEnv + evalConstExpr), ignoring calls — enough to exercise the
+/// solver's join/boundary plumbing.
+struct FwdConsts {
+  using Value = ConstEnv;
+  static constexpr FlowDirection Direction = FlowDirection::Forward;
+
+  Value bottom() const { return ConstEnv::bottomEnv(); }
+  Value boundary() const { return ConstEnv::topEnv(); }
+  bool join(Value &Into, const Value &From) const {
+    return Into.joinWith(From);
+  }
+  Value transfer(LabelId, const CfgStmt &S, const Value &In) const {
+    if (In.isBottom())
+      return In;
+    Value Out = In;
+    if (S.Kind == CfgStmtKind::Assign) {
+      if (std::optional<ConstVal> V = evalConstExpr(S.E, In))
+        Out.set(S.Target, *V);
+      else
+        Out.forget(S.Target);
+    }
+    return Out;
+  }
+};
+
+/// Test analysis: plain backward liveness over assumes/assigns.
+struct BwdLive {
+  using Value = std::set<Symbol>;
+  static constexpr FlowDirection Direction = FlowDirection::Backward;
+
+  Value bottom() const { return {}; }
+  Value boundary() const { return Exit; }
+  bool join(Value &Into, const Value &From) const {
+    bool Changed = false;
+    for (Symbol V : From)
+      Changed |= Into.insert(V).second;
+    return Changed;
+  }
+  Value transfer(LabelId, const CfgStmt &S, const Value &Post) const {
+    Value Pre = Post;
+    if (S.Kind == CfgStmtKind::Assign) {
+      Pre.erase(S.Target);
+      collectExprVars(S.E, Pre);
+    } else if (S.Kind == CfgStmtKind::Assume) {
+      collectExprVars(S.E, Pre);
+    }
+    return Pre;
+  }
+
+  Value Exit;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lattice pieces
+//===----------------------------------------------------------------------===//
+
+TEST(ConstEnv, JoinKeepsAgreeingBindings) {
+  AstContext Ctx;
+  Symbol X = Ctx.sym("x"), Y = Ctx.sym("y");
+
+  ConstEnv A = ConstEnv::topEnv();
+  A.set(X, ConstVal::ofInt(1));
+  A.set(Y, ConstVal::ofInt(2));
+  ConstEnv B = ConstEnv::topEnv();
+  B.set(X, ConstVal::ofInt(1));
+  B.set(Y, ConstVal::ofInt(3));
+
+  EXPECT_TRUE(A.joinWith(B)); // y disagrees and is dropped
+  EXPECT_EQ(A.get(X), ConstVal::ofInt(1));
+  EXPECT_FALSE(A.get(Y).has_value());
+  EXPECT_FALSE(A.joinWith(B)); // already the join: no change
+}
+
+TEST(ConstEnv, BottomIsJoinIdentity) {
+  AstContext Ctx;
+  Symbol X = Ctx.sym("x");
+  ConstEnv A = ConstEnv::topEnv();
+  A.set(X, ConstVal::ofInt(7));
+
+  ConstEnv B = A;
+  EXPECT_FALSE(B.joinWith(ConstEnv::bottomEnv())); // no change
+  EXPECT_EQ(B.get(X), ConstVal::ofInt(7));
+
+  ConstEnv C = ConstEnv::bottomEnv();
+  EXPECT_TRUE(C.joinWith(A));
+  EXPECT_FALSE(C.isBottom());
+  EXPECT_EQ(C.get(X), ConstVal::ofInt(7));
+}
+
+TEST(EvalConstExpr, FoldsArithmeticAndComparisons) {
+  AstContext Ctx;
+  ConstEnv Env = ConstEnv::topEnv();
+  Symbol X = Ctx.sym("x");
+  Env.set(X, ConstVal::ofInt(6));
+  const Expr *XV = Ctx.tVar(X, Ctx.intType());
+
+  auto Eval = [&](const Expr *E) { return evalConstExpr(E, Env); };
+  EXPECT_EQ(Eval(Ctx.tBinary(BinOp::Add, XV, Ctx.tInt(4))),
+            ConstVal::ofInt(10));
+  EXPECT_EQ(Eval(Ctx.tBinary(BinOp::Mul, XV, Ctx.tInt(-2))),
+            ConstVal::ofInt(-12));
+  EXPECT_EQ(Eval(Ctx.tBinary(BinOp::Lt, XV, Ctx.tInt(7))),
+            ConstVal::ofBool(true));
+  EXPECT_EQ(Eval(Ctx.tUnary(UnOp::Neg, XV)), ConstVal::ofInt(-6));
+  // Euclidean semantics: -7 div 2 = -4, -7 mod 2 = 1.
+  EXPECT_EQ(Eval(Ctx.tBinary(BinOp::Div, Ctx.tInt(-7), Ctx.tInt(2))),
+            ConstVal::ofInt(-4));
+  EXPECT_EQ(Eval(Ctx.tBinary(BinOp::Mod, Ctx.tInt(-7), Ctx.tInt(2))),
+            ConstVal::ofInt(1));
+  EXPECT_EQ(Eval(Ctx.tIte(Ctx.tBinary(BinOp::Eq, XV, Ctx.tInt(6)),
+                          Ctx.tInt(1), Ctx.tInt(2))),
+            ConstVal::ofInt(1));
+}
+
+TEST(EvalConstExpr, RefusesDivByZeroAndOverflow) {
+  AstContext Ctx;
+  ConstEnv Env = ConstEnv::topEnv();
+  // x div 0 is uninterpreted in SMT; folding it would change verdicts.
+  EXPECT_FALSE(
+      evalConstExpr(Ctx.tBinary(BinOp::Div, Ctx.tInt(5), Ctx.tInt(0)), Env));
+  EXPECT_FALSE(
+      evalConstExpr(Ctx.tBinary(BinOp::Mod, Ctx.tInt(5), Ctx.tInt(0)), Env));
+  EXPECT_FALSE(evalConstExpr(
+      Ctx.tBinary(BinOp::Add, Ctx.tInt(INT64_MAX), Ctx.tInt(1)), Env));
+  EXPECT_FALSE(evalConstExpr(
+      Ctx.tBinary(BinOp::Mul, Ctx.tInt(INT64_MIN), Ctx.tInt(-1)), Env));
+}
+
+TEST(EvalConstExpr, ShortCircuitsThroughUnknowns) {
+  AstContext Ctx;
+  ConstEnv Env = ConstEnv::topEnv();
+  const Expr *Unknown = Ctx.tVar(Ctx.sym("u"), Ctx.boolType());
+
+  EXPECT_EQ(evalConstExpr(Ctx.tBinary(BinOp::And, Ctx.tBool(false), Unknown),
+                          Env),
+            ConstVal::ofBool(false));
+  EXPECT_EQ(
+      evalConstExpr(Ctx.tBinary(BinOp::Or, Unknown, Ctx.tBool(true)), Env),
+      ConstVal::ofBool(true));
+  EXPECT_EQ(evalConstExpr(
+                Ctx.tBinary(BinOp::Implies, Ctx.tBool(false), Unknown), Env),
+            ConstVal::ofBool(true));
+  EXPECT_FALSE(evalConstExpr(
+      Ctx.tBinary(BinOp::And, Ctx.tBool(true), Unknown), Env));
+}
+
+//===----------------------------------------------------------------------===//
+// Worklist solver
+//===----------------------------------------------------------------------===//
+
+TEST(DataflowSolver, ForwardJoinAtDiamond) {
+  AstContext Ctx;
+  Symbol X = Ctx.sym("x"), Y = Ctx.sym("y");
+  CfgBuilder B(Ctx);
+  // x := 1; branch; {y := 5 | y := 9}; join
+  LabelId L0 = B.add(assignStmt(X, Ctx.tInt(1)), {1, 2});
+  B.add(assignStmt(Y, Ctx.tInt(5)), {3});
+  B.add(assignStmt(Y, Ctx.tInt(9)), {3});
+  LabelId L3 = B.add(assumeStmt(Ctx.tBool(true)), {});
+
+  ProcFlow Flow(B.Prog, 0);
+  FwdConsts A;
+  DataflowSolver<FwdConsts> Solver(Flow, A);
+  Solver.solve();
+
+  EXPECT_FALSE(Solver.pre(L0).get(X).has_value());
+  EXPECT_EQ(Solver.post(L0).get(X), ConstVal::ofInt(1));
+  // x survives the join; y does not (5 vs 9).
+  EXPECT_EQ(Solver.pre(L3).get(X), ConstVal::ofInt(1));
+  EXPECT_FALSE(Solver.pre(L3).get(Y).has_value());
+}
+
+TEST(DataflowSolver, BackwardLivenessThroughBranch) {
+  AstContext Ctx;
+  Symbol X = Ctx.sym("x"), Y = Ctx.sym("y"), Z = Ctx.sym("z");
+  const Type *IntTy = Ctx.intType();
+  CfgBuilder B(Ctx);
+  // x := z; branch; {assume x > 0 | y := x}; exit (y live at exit)
+  LabelId L0 = B.add(assignStmt(X, Ctx.tVar(Z, IntTy)), {1, 2});
+  LabelId L1 = B.add(
+      assumeStmt(Ctx.tBinary(BinOp::Gt, Ctx.tVar(X, IntTy), Ctx.tInt(0))),
+      {3});
+  B.add(assignStmt(Y, Ctx.tVar(X, IntTy)), {3});
+  LabelId L3 = B.add(assumeStmt(Ctx.tBool(true)), {});
+
+  ProcFlow Flow(B.Prog, 0);
+  BwdLive A;
+  A.Exit = {Y};
+  DataflowSolver<BwdLive> Solver(Flow, A);
+  Solver.solve();
+
+  EXPECT_TRUE(Solver.post(L3).count(Y));
+  EXPECT_TRUE(Solver.pre(L1).count(X));
+  // Before L0, x is about to be overwritten: only z (feeding x) is live.
+  EXPECT_TRUE(Solver.pre(L0).count(Z));
+  EXPECT_FALSE(Solver.pre(L0).count(X));
+  EXPECT_TRUE(Solver.pre(L0).count(Y)); // y reaches exit on the assume path
+}
+
+TEST(ProcFlow, TopoOrderAndPreds) {
+  AstContext Ctx;
+  CfgBuilder B(Ctx);
+  LabelId L0 = B.add(assumeStmt(Ctx.tBool(true)), {1, 2});
+  LabelId L1 = B.add(assumeStmt(Ctx.tBool(true)), {3});
+  LabelId L2 = B.add(assumeStmt(Ctx.tBool(true)), {3});
+  LabelId L3 = B.add(assumeStmt(Ctx.tBool(true)), {});
+
+  ProcFlow Flow(B.Prog, 0);
+  EXPECT_EQ(Flow.size(), 4u);
+  EXPECT_EQ(Flow.entry(), L0);
+  EXPECT_EQ(Flow.topo().front(), L0);
+  EXPECT_EQ(Flow.topo().back(), L3);
+  EXPECT_EQ(Flow.preds(L0).size(), 0u);
+  EXPECT_EQ(Flow.preds(L3).size(), 2u);
+  EXPECT_EQ(Flow.succs(L1).size(), 1u);
+  EXPECT_TRUE(Flow.indexOf(L1) < Flow.indexOf(L3));
+  EXPECT_TRUE(Flow.indexOf(L2) < Flow.indexOf(L3));
+}
+
+//===----------------------------------------------------------------------===//
+// Effects and relevance
+//===----------------------------------------------------------------------===//
+
+TEST(ProcEffects, TransitiveModAndUse) {
+  AstContext Ctx;
+  auto P = parse(R"(
+    var a: int;
+    var b: int;
+    var c: int;
+    procedure leaf() { a := b + 1; }
+    procedure mid() { call leaf(); c := 0; }
+    procedure main() { call mid(); assert a >= 0; }
+  )",
+                 Ctx);
+  ProcId Root;
+  Symbol Err;
+  CfgProgram Cfg = lower(Ctx, *P, Root, Err);
+
+  std::vector<ProcEffects> FX = computeProcEffects(Cfg);
+  ProcId Mid = Cfg.findProc(Ctx.sym("mid"));
+  ASSERT_NE(Mid, InvalidProc);
+  EXPECT_TRUE(FX[Mid].ModGlobals.count(Ctx.sym("a"))); // via leaf
+  EXPECT_TRUE(FX[Mid].ModGlobals.count(Ctx.sym("c")));
+  EXPECT_TRUE(FX[Mid].UseGlobals.count(Ctx.sym("b"))); // via leaf
+  EXPECT_FALSE(FX[Mid].ModGlobals.count(Ctx.sym("b")));
+}
+
+TEST(Relevance, ClosesOverAssignsAndCalls) {
+  AstContext Ctx;
+  auto P = parse(R"(
+    var checked: int;
+    var noise: int;
+    procedure source(seed: int) returns (r: int) { r := seed * 2; }
+    procedure main() {
+      var t: int;
+      var junk: int;
+      call t := source(3);
+      checked := t;
+      junk := 99;
+      noise := junk;
+      assert checked >= 0;
+    }
+  )",
+                 Ctx);
+  ProcId Root;
+  Symbol Err;
+  CfgProgram Cfg = lower(Ctx, *P, Root, Err);
+
+  Relevance Rel(Cfg, Err);
+  ProcId Main = Cfg.findProc(Ctx.sym("main"));
+  ProcId Source = Cfg.findProc(Ctx.sym("source"));
+  ASSERT_NE(Main, InvalidProc);
+  ASSERT_NE(Source, InvalidProc);
+
+  EXPECT_TRUE(Rel.relevantGlobal(Ctx.sym("checked")));
+  EXPECT_TRUE(Rel.relevantGlobal(Err));
+  EXPECT_TRUE(Rel.relevant(Main, Ctx.sym("t")));          // feeds checked
+  EXPECT_TRUE(Rel.relevant(Source, Ctx.sym("r")));        // result flows out
+  EXPECT_TRUE(Rel.relevant(Source, Ctx.sym("seed")));     // feeds r
+  EXPECT_FALSE(Rel.relevantGlobal(Ctx.sym("noise")));     // never read
+  EXPECT_FALSE(Rel.relevant(Main, Ctx.sym("junk")));      // only feeds noise
+}
+
+//===----------------------------------------------------------------------===//
+// The prepass transformations
+//===----------------------------------------------------------------------===//
+
+TEST(Prepass, PrunesAssumeFalseBranches) {
+  AstContext Ctx;
+  auto P = parse(R"(
+    var g: int;
+    procedure expensive() { g := g + 1; assert g < 100; }
+    procedure main() {
+      var flag: bool;
+      flag := false;
+      if (flag) { call expensive(); }
+      g := 1;
+      assert g == 1;
+    }
+  )",
+                 Ctx);
+  ProcId Root;
+  Symbol Err;
+  CfgProgram Cfg = lower(Ctx, *P, Root, Err);
+  size_t ProcsBefore = Cfg.Procs.size();
+
+  PrepassReport R = runPrepass(Ctx, Cfg, Root, Err);
+  // The guarded call is unreachable; `expensive` leaves the call graph.
+  EXPECT_GT(R.PrunedLabels, 0u);
+  EXPECT_EQ(R.ProcsAfter, ProcsBefore - 1);
+  EXPECT_EQ(Cfg.findProc(Ctx.sym("expensive")), InvalidProc);
+  EXPECT_EQ(Cfg.proc(Root).Name, Ctx.sym("main"));
+  for (ProcId Q = 0; Q < Cfg.Procs.size(); ++Q)
+    for (LabelId L : Cfg.proc(Q).Labels)
+      EXPECT_EQ(Cfg.label(L).Proc, Q);
+}
+
+TEST(Prepass, SlicesIrrelevantStateAndElidesCalls) {
+  AstContext Ctx;
+  auto P = parse(R"(
+    var watched: int;
+    var scratch: int;
+    procedure logger(v: int) { scratch := scratch + v; }
+    procedure main() {
+      watched := 1;
+      call logger(7);
+      call logger(8);
+      assert watched == 1;
+    }
+  )",
+                 Ctx);
+  ProcId Root;
+  Symbol Err;
+  CfgProgram Cfg = lower(Ctx, *P, Root, Err);
+
+  PrepassReport R = runPrepass(Ctx, Cfg, Root, Err);
+  // `scratch` cannot reach the query: logger's body slices to skips, the
+  // calls are elided, and logger drops out of the program.
+  EXPECT_GT(R.SlicedStmts, 0u);
+  EXPECT_EQ(R.ElidedCalls, 2u);
+  EXPECT_EQ(Cfg.findProc(Ctx.sym("logger")), InvalidProc);
+}
+
+TEST(Prepass, SpliceSkipsCompactsChains) {
+  AstContext Ctx;
+  CfgBuilder B(Ctx);
+  Symbol X = Ctx.sym("x");
+  // assign; skip; skip; assign; skip(return)
+  B.add(assignStmt(X, Ctx.tInt(1)), {1});
+  B.add(assumeStmt(Ctx.tBool(true)), {2});
+  B.add(assumeStmt(Ctx.tBool(true)), {3});
+  B.add(assignStmt(X, Ctx.tInt(2)), {4});
+  B.add(assumeStmt(Ctx.tBool(true)), {});
+
+  unsigned Removed = spliceSkips(B.Prog);
+  EXPECT_EQ(Removed, 3u);
+  ASSERT_EQ(B.Prog.Labels.size(), 2u);
+  // assign(1) now flows straight to assign(2), which returns.
+  EXPECT_EQ(B.Prog.Labels[0].Targets, std::vector<LabelId>{1});
+  EXPECT_TRUE(B.Prog.Labels[1].Targets.empty());
+}
+
+TEST(Prepass, KeepsBlockingSkeletonExact) {
+  // A branch where one arm blocks (assume false via unreachable code) and
+  // one arm reaches the bug: pruning must keep the bug reachable.
+  AstContext Ctx;
+  auto P = parse(R"(
+    var g: int;
+    procedure main() {
+      havoc g;
+      if (g > 0) {
+        assert g < 0;
+      }
+    }
+  )",
+                 Ctx);
+  VerifierOptions On;
+  On.Engine.Strategy.Kind = MergeStrategyKind::First;
+  VerifierOptions Off = On;
+  Off.UsePrepass = false;
+  auto ROn = verifyProgram(Ctx, *P, Ctx.sym("main"), On);
+  auto ROff = verifyProgram(Ctx, *P, Ctx.sym("main"), Off);
+  EXPECT_EQ(ROn.Result.Outcome, Verdict::Bug);
+  EXPECT_EQ(ROff.Result.Outcome, Verdict::Bug);
+}
+
+TEST(Prepass, RecordsStats) {
+  AstContext Ctx;
+  auto P = parse(R"(
+    var g: int;
+    procedure main() { g := 2; assert g == 2; }
+  )",
+                 Ctx);
+  VerifierOptions Opts;
+  Opts.Engine.Strategy.Kind = MergeStrategyKind::First;
+  auto R = verifyProgram(Ctx, *P, Ctx.sym("main"), Opts);
+  EXPECT_EQ(R.Result.Outcome, Verdict::Safe);
+  EXPECT_EQ(R.PrepassStats.get("prepass.labels.before"),
+            static_cast<int64_t>(R.NumLabels));
+  EXPECT_EQ(R.PrepassStats.get("prepass.labels.after"),
+            static_cast<int64_t>(R.NumLabelsSolved));
+  EXPECT_LT(R.NumLabelsSolved, R.NumLabels);
+  EXPECT_FALSE(R.Prepass.str().empty());
+}
+
+TEST(Prepass, DisabledLeavesProgramAlone) {
+  AstContext Ctx;
+  auto P = parse(R"(
+    var g: int;
+    procedure main() { g := 2; assert g == 2; }
+  )",
+                 Ctx);
+  VerifierOptions Opts;
+  Opts.UsePrepass = false;
+  Opts.Engine.Strategy.Kind = MergeStrategyKind::First;
+  auto R = verifyProgram(Ctx, *P, Ctx.sym("main"), Opts);
+  EXPECT_EQ(R.Result.Outcome, Verdict::Safe);
+  EXPECT_EQ(R.NumLabelsSolved, R.NumLabels);
+  EXPECT_EQ(R.Prepass.LabelsBefore, 0u);
+  EXPECT_EQ(R.PrepassStats.counters().size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Lint
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+LintReport lintSource(const char *Src, std::vector<Diag> *DiagsOut = nullptr) {
+  AstContext Ctx;
+  auto P = parse(Src, Ctx);
+  DiagEngine Diags;
+  LintReport R = lintProgram(Ctx, *P, Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  if (DiagsOut)
+    *DiagsOut = Diags.all();
+  return R;
+}
+
+bool anyDiagContains(const std::vector<Diag> &Diags, const std::string &Needle,
+                     unsigned Line = 0) {
+  for (const Diag &D : Diags)
+    if (D.Message.find(Needle) != std::string::npos &&
+        (Line == 0 || D.Loc.Line == Line))
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(Lint, FlagsUseBeforeDef) {
+  std::vector<Diag> Diags;
+  LintReport R = lintSource(R"(
+    procedure main() {
+      var x: int;
+      var y: int;
+      y := x + 1;
+      assert y > 0;
+    }
+  )",
+                            &Diags);
+  EXPECT_EQ(R.UseBeforeDef, 1u);
+  EXPECT_TRUE(anyDiagContains(Diags, "'x' may be used before", 5));
+}
+
+TEST(Lint, DefiniteAssignmentJoinsBranches) {
+  // x assigned on both arms: fine. z assigned on one arm only: flagged.
+  std::vector<Diag> Diags;
+  LintReport R = lintSource(R"(
+    procedure main() {
+      var x: int;
+      var z: int;
+      if (*) { x := 1; z := 1; } else { x := 2; }
+      assert x + z > 0;
+    }
+  )",
+                            &Diags);
+  EXPECT_EQ(R.UseBeforeDef, 1u);
+  EXPECT_TRUE(anyDiagContains(Diags, "'z' may be used before"));
+  EXPECT_FALSE(anyDiagContains(Diags, "'x' may be used before"));
+}
+
+TEST(Lint, HavocAndCallResultsCountAsDefs) {
+  LintReport R = lintSource(R"(
+    procedure mk() returns (r: int) { r := 3; }
+    procedure main() {
+      var a: int;
+      var b: int;
+      havoc a;
+      call b := mk();
+      assert a + b > 0;
+    }
+  )");
+  EXPECT_EQ(R.UseBeforeDef, 0u);
+}
+
+TEST(Lint, FlagsUnreachableCode) {
+  std::vector<Diag> Diags;
+  LintReport R = lintSource(R"(
+    var g: int;
+    procedure main() {
+      g := 1;
+      return;
+      g := 2;
+    }
+  )",
+                            &Diags);
+  EXPECT_EQ(R.UnreachableCode, 1u);
+  EXPECT_TRUE(anyDiagContains(Diags, "unreachable code", 6));
+}
+
+TEST(Lint, FlagsDeadStores) {
+  std::vector<Diag> Diags;
+  LintReport R = lintSource(R"(
+    var g: int;
+    procedure main() {
+      var t: int;
+      t := 5;
+      t := 6;
+      g := t;
+    }
+  )",
+                            &Diags);
+  EXPECT_EQ(R.DeadStores, 1u);
+  EXPECT_TRUE(anyDiagContains(Diags, "dead store to 't'", 5));
+}
+
+TEST(Lint, GlobalStoresAreNeverDead) {
+  // Globals outlive the procedure; overwriting one is not a dead store.
+  LintReport R = lintSource(R"(
+    var g: int;
+    procedure main() {
+      g := 1;
+      g := 2;
+    }
+  )");
+  EXPECT_EQ(R.DeadStores, 0u);
+}
+
+TEST(Lint, LoopCarriedUsesAreNotDeadStores) {
+  LintReport R = lintSource(R"(
+    var sum: int;
+    procedure main() {
+      var i: int;
+      i := 0;
+      while (i < 3) {
+        sum := sum + i;
+        i := i + 1;
+      }
+    }
+  )");
+  EXPECT_EQ(R.DeadStores, 0u);
+  EXPECT_EQ(R.UseBeforeDef, 0u);
+}
+
+TEST(Lint, FlagsHavocOfUndeclaredVariable) {
+  // The type checker rejects this for parsed programs, so build it directly
+  // (the builder API skips checking).
+  AstContext Ctx;
+  Program Prog;
+  Procedure Main;
+  Main.Name = Ctx.sym("main");
+  Main.Body.push_back(Ctx.havoc({Ctx.sym("ghost")}, SrcLoc{3, 1}));
+  Prog.Procedures.push_back(std::move(Main));
+
+  DiagEngine Diags;
+  LintReport R = lintProgram(Ctx, Prog, Diags);
+  EXPECT_EQ(R.UndeclaredHavocs, 1u);
+  EXPECT_TRUE(anyDiagContains(Diags.all(), "havoc of undeclared variable "
+                                           "'ghost'"));
+}
+
+TEST(Lint, CleanProgramHasNoWarnings) {
+  LintReport R = lintSource(R"(
+    var g: int;
+    procedure bump(k: int) returns (r: int) { r := g + k; }
+    procedure main() {
+      var v: int;
+      call v := bump(2);
+      g := v;
+      assert g >= v;
+    }
+  )");
+  EXPECT_EQ(R.total(), 0u);
+}

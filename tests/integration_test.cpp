@@ -11,7 +11,9 @@
 #include "ast/Eval.h"
 #include "core/Verifier.h"
 #include "parser/Parser.h"
+#include "workload/Chain.h"
 #include "workload/RandomProg.h"
+#include "workload/SdvGen.h"
 
 #include <gtest/gtest.h>
 
@@ -255,4 +257,81 @@ TEST(EndToEnd, AccountDoubleOpenBug) {
                          optsFor(MergeStrategyKind::First, 2));
   EXPECT_EQ(R.Result.Outcome, Verdict::Bug);
   EXPECT_NE(R.TraceText.find("open_account"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Prepass differential: the sliced verdict must equal the unsliced verdict
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectPrepassAgrees(AstContext &Ctx, const Program &P, unsigned Bound,
+                         const std::string &What) {
+  VerifierOptions On = optsFor(MergeStrategyKind::First, Bound);
+  VerifierOptions Off = On;
+  Off.UsePrepass = false;
+  auto ROn = verifyProgram(Ctx, P, Ctx.sym("main"), On);
+  auto ROff = verifyProgram(Ctx, P, Ctx.sym("main"), Off);
+  ASSERT_TRUE(ROff.Result.Outcome == Verdict::Safe ||
+              ROff.Result.Outcome == Verdict::Bug)
+      << "unexpected baseline verdict on " << What;
+  EXPECT_EQ(ROn.Result.Outcome, ROff.Result.Outcome)
+      << "prepass changed the verdict on " << What;
+  // The prepass never grows the program, and a Bug verdict still comes with
+  // a feasible rendered counterexample.
+  EXPECT_LE(ROn.NumLabelsSolved, ROn.NumLabels);
+  EXPECT_LE(ROn.NumProcsSolved, ROn.NumProcs);
+  if (ROn.Result.Outcome == Verdict::Bug) {
+    EXPECT_FALSE(ROn.TraceText.empty()) << What;
+  }
+}
+
+} // namespace
+
+class PrepassDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrepassDifferential, RandomProgramsAgree) {
+  RandomProgParams Params;
+  Params.Seed = GetParam() * 7919 + 3;
+  Params.NumProcs = 5;
+  Params.MaxStmts = 4;
+  Params.AllowLoops = GetParam() % 2 == 0;
+  Params.AllowArrays = GetParam() % 3 == 0;
+  Params.AllowBitvectors = GetParam() % 5 == 0;
+
+  AstContext Ctx;
+  Program P = makeRandomProgram(Ctx, Params);
+  expectPrepassAgrees(Ctx, P, 3, "random seed " + std::to_string(GetParam()));
+}
+
+// 150 random instances; with the SDV corpus and the chain family below the
+// differential sweep covers 200+ generated programs.
+INSTANTIATE_TEST_SUITE_P(Seeds, PrepassDifferential,
+                         ::testing::Range<uint64_t>(1, 151));
+
+TEST(PrepassDifferentialSdv, CorpusAgrees) {
+  // Cap the corpus shape: the no-prepass baseline pays for the full utility
+  // tree (which doubles per UtilDepth layer), and the largest stock
+  // instances exceed the solver timeout. The capped instances still
+  // exercise dispatch arms, shared utilities, and injected bugs.
+  for (SdvInstance I : makeSdvCorpus(42, 40, 128)) {
+    I.Params.NumHandlers = std::min(I.Params.NumHandlers, 4u);
+    I.Params.NumUtils = std::min(I.Params.NumUtils, 5u);
+    I.Params.UtilDepth = std::min(I.Params.UtilDepth, 3u);
+    I.Params.CallsPerHandler = std::min(I.Params.CallsPerHandler, 2u);
+    AstContext Ctx;
+    Program P = makeSdvProgram(Ctx, I.Params);
+    expectPrepassAgrees(Ctx, P, 2, I.Name);
+  }
+}
+
+TEST(PrepassDifferentialChain, ChainFamilyAgrees) {
+  for (unsigned N = 1; N <= 12; ++N)
+    for (bool Buggy : {false, true}) {
+      AstContext Ctx;
+      Program P = makeChainProgram(Ctx, N, Buggy);
+      expectPrepassAgrees(Ctx, P, 2,
+                          "chain N=" + std::to_string(N) +
+                              (Buggy ? " buggy" : " safe"));
+    }
 }

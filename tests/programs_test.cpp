@@ -112,9 +112,35 @@ TEST_P(SampleProgram, VerdictMatchesExpectation) {
     auto R = verifyProgram(Ctx, *P, Ctx.sym("main"), Opts);
     EXPECT_EQ(R.Result.Outcome, Expect->Outcome)
         << GetParam() << " with " << C.Name;
-    if (Expect->Outcome == Verdict::Bug && C.Kind != MergeStrategyKind::None)
+    if (Expect->Outcome == Verdict::Bug && C.Kind != MergeStrategyKind::None) {
       EXPECT_FALSE(R.TraceText.empty());
+    }
   }
+}
+
+TEST_P(SampleProgram, PrepassPreservesVerdict) {
+  std::string Source = readFile(GetParam());
+  std::optional<Expectation> Expect = parseExpectation(Source);
+  ASSERT_TRUE(Expect) << GetParam();
+
+  AstContext Ctx;
+  DiagEngine Diags;
+  auto P = parseAndCheck(Source, Ctx, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+
+  VerifierOptions On;
+  On.Bound = Expect->Bound;
+  On.Engine.Strategy.Kind = MergeStrategyKind::First;
+  On.Engine.TimeoutSeconds = 120;
+  VerifierOptions Off = On;
+  Off.UsePrepass = false;
+
+  auto ROn = verifyProgram(Ctx, *P, Ctx.sym("main"), On);
+  auto ROff = verifyProgram(Ctx, *P, Ctx.sym("main"), Off);
+  EXPECT_EQ(ROn.Result.Outcome, Expect->Outcome) << GetParam();
+  EXPECT_EQ(ROn.Result.Outcome, ROff.Result.Outcome)
+      << GetParam() << ": prepass changed the verdict";
+  EXPECT_LE(ROn.NumLabelsSolved, ROn.NumLabels);
 }
 
 INSTANTIATE_TEST_SUITE_P(
