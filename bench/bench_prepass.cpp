@@ -2,12 +2,18 @@
 //
 // Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
 //
-// Measures what the dataflow prepass (constant folding + branch pruning,
-// query slicing, skip splicing, dead-procedure elimination) buys on the
-// SDV-like corpus: the program size the engine sees, the size of the fully
-// inlined VC (hash-consed term count), and end-to-end DI verify time —
-// each with the prepass on vs off. Knobs: RMT_BENCH_TIMEOUT,
-// RMT_BENCH_COUNT (see BenchCommon.h).
+// Three-way ablation of the prepass pipeline on the SDV-like corpus:
+//
+//   off  — no prepass at all;
+//   base — the original reduction pipeline (constprop,slice,splice,deadproc);
+//   full — the default pipeline, which adds GVN/copy-propagation and
+//          assume-redundancy elimination (constprop,gvn,assumeelim,...).
+//
+// For each configuration we report the program size the engine sees and the
+// size of the fully inlined VC (hash-consed term count); end-to-end DI verify
+// time is measured for off vs full. The base→full delta isolates what the
+// value-numbering passes buy on top of the established reductions. Knobs:
+// RMT_BENCH_TIMEOUT, RMT_BENCH_COUNT (see BenchCommon.h).
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +34,9 @@ using namespace rmt::bench;
 
 namespace {
 
+/// The reduction pipeline as it stood before the value-numbering passes.
+const char *BaselinePasses = "constprop,slice,splice,deadproc";
+
 struct VcSize {
   size_t Labels = 0;
   size_t Procs = 0;
@@ -37,15 +46,19 @@ struct VcSize {
 
 /// Fully inlines the instance (structure-only, DI/First strategy) and
 /// reports the hash-consed term count — the static formula footprint the
-/// solver would be handed if every open edge were expanded.
-VcSize inlinedVcSize(const SdvParams &Params, bool UsePrepass) {
+/// solver would be handed if every open edge were expanded. \p Passes is the
+/// prepass pipeline spec; null runs no prepass.
+VcSize inlinedVcSize(const SdvParams &Params, const char *Passes) {
   AstContext Ctx;
   Program Prog = makeSdvProgram(Ctx, Params);
   BoundedInstance Inst = prepareBounded(Ctx, Prog, Ctx.sym("main"), 1);
   CfgProgram Cfg = lowerToCfg(Ctx, Inst.Prog);
   ProcId Root = Cfg.findProc(Inst.Entry);
-  if (UsePrepass)
-    runPrepass(Ctx, Cfg, Root, Inst.ErrVar);
+  if (Passes) {
+    PrepassOptions PO;
+    PO.Passes = Passes;
+    runPrepass(Ctx, Cfg, Root, Inst.ErrVar, PO);
+  }
 
   TermArena Arena;
   VcContext Vc(Ctx, Cfg, Arena);
@@ -86,19 +99,23 @@ struct TimedRun {
   double Seconds = 0;
 };
 
-TimedRun timedVerify(const SdvParams &Params, bool UsePrepass,
+TimedRun timedVerify(const SdvParams &Params, const char *Passes,
                      double Timeout) {
   AstContext Ctx;
   Program Prog = makeSdvProgram(Ctx, Params);
   VerifierOptions Opts;
   Opts.Bound = 1; // drivers are loop-free by construction
-  Opts.UsePrepass = UsePrepass;
+  Opts.UsePrepass = Passes != nullptr;
+  if (Passes)
+    Opts.Prepass.Passes = Passes;
   Opts.Engine.Strategy.Kind = MergeStrategyKind::First;
   Opts.Engine.TimeoutSeconds = Timeout;
   Stopwatch W;
   VerifierRunResult R = verifyProgram(Ctx, Prog, Ctx.sym("main"), Opts);
   return {R.Result.Outcome, W.seconds()};
 }
+
+bool answered(Verdict V) { return V == Verdict::Safe || V == Verdict::Bug; }
 
 } // namespace
 
@@ -110,65 +127,75 @@ int main() {
       makeSdvCorpus(/*Seed=*/2015, Count, /*BugFraction=*/110);
 
   std::printf("Prepass ablation — %u SDV-like instances, DI (First), "
-              "bound 1, timeout %.0fs\n\n",
-              Count, Timeout);
+              "bound 1, timeout %.0fs\n"
+              "base = %s\nfull = default pipeline (adds gvn,assumeelim)\n\n",
+              Count, Timeout, BaselinePasses);
 
-  Table T({"Instance", "Labels off", "Labels on", "Terms off", "Terms on",
-           "Time off(s)", "Time on(s)", "Verdict"});
-  size_t TermsOff = 0, TermsOn = 0, LabelsOff = 0, LabelsOn = 0;
-  double TimeOff = 0, TimeOn = 0;
+  Table T({"Instance", "Terms off", "Terms base", "Terms full", "Labels full",
+           "Time off(s)", "Time full(s)", "Verdict"});
+  size_t TermsOff = 0, TermsBase = 0, TermsFull = 0;
+  size_t LabelsOff = 0, LabelsFull = 0;
+  double TimeOff = 0, TimeFull = 0;
   unsigned Disagreements = 0;
 
   for (const SdvInstance &I : Corpus) {
-    VcSize Off = inlinedVcSize(I.Params, /*UsePrepass=*/false);
-    VcSize On = inlinedVcSize(I.Params, /*UsePrepass=*/true);
-    TimedRun ROff = timedVerify(I.Params, /*UsePrepass=*/false, Timeout);
-    TimedRun ROn = timedVerify(I.Params, /*UsePrepass=*/true, Timeout);
+    VcSize Off = inlinedVcSize(I.Params, nullptr);
+    VcSize Base = inlinedVcSize(I.Params, BaselinePasses);
+    VcSize Full = inlinedVcSize(I.Params, ""); // "" = default pipeline
+    TimedRun ROff = timedVerify(I.Params, nullptr, Timeout);
+    TimedRun RBase = timedVerify(I.Params, BaselinePasses, Timeout);
+    TimedRun RFull = timedVerify(I.Params, "", Timeout);
 
-    bool BothAnswered =
-        (ROff.Outcome == Verdict::Safe || ROff.Outcome == Verdict::Bug) &&
-        (ROn.Outcome == Verdict::Safe || ROn.Outcome == Verdict::Bug);
-    if (BothAnswered && ROff.Outcome != ROn.Outcome)
-      ++Disagreements;
+    // All configurations that answer must answer alike.
+    Verdict Ref = Verdict::Unknown;
+    for (Verdict V : {ROff.Outcome, RBase.Outcome, RFull.Outcome}) {
+      if (!answered(V))
+        continue;
+      if (!answered(Ref))
+        Ref = V;
+      else if (V != Ref)
+        ++Disagreements;
+    }
 
     TermsOff += Off.Terms;
-    TermsOn += On.Terms;
+    TermsBase += Base.Terms;
+    TermsFull += Full.Terms;
     LabelsOff += Off.Labels;
-    LabelsOn += On.Labels;
+    LabelsFull += Full.Labels;
     TimeOff += ROff.Seconds;
-    TimeOn += ROn.Seconds;
+    TimeFull += RFull.Seconds;
 
     T.row();
     T.cell(I.Name);
-    T.cell(static_cast<int64_t>(Off.Labels));
-    T.cell(static_cast<int64_t>(On.Labels));
     T.cell(static_cast<int64_t>(Off.Terms));
-    T.cell(static_cast<int64_t>(On.Terms));
+    T.cell(static_cast<int64_t>(Base.Terms));
+    T.cell(static_cast<int64_t>(Full.Terms));
+    T.cell(static_cast<int64_t>(Full.Labels));
     T.cell(ROff.Seconds, 2);
-    T.cell(ROn.Seconds, 2);
-    T.cell(!BothAnswered              ? "t/o"
-           : ROff.Outcome == ROn.Outcome ? verdictName(ROn.Outcome)
-                                         : "MIXED");
-    std::fprintf(stderr, "  %-10s terms %zu -> %zu, %.2fs -> %.2fs\n",
-                 I.Name.c_str(), Off.Terms, On.Terms, ROff.Seconds,
-                 ROn.Seconds);
+    T.cell(RFull.Seconds, 2);
+    T.cell(!answered(Ref) ? "t/o" : verdictName(Ref));
+    std::fprintf(stderr,
+                 "  %-10s terms %zu -> %zu -> %zu, %.2fs -> %.2fs\n",
+                 I.Name.c_str(), Off.Terms, Base.Terms, Full.Terms,
+                 ROff.Seconds, RFull.Seconds);
   }
 
   std::printf("%s\n", T.str().c_str());
-  double TermPct =
-      TermsOff ? 100.0 * static_cast<double>(TermsOff - TermsOn) /
-                     static_cast<double>(TermsOff)
-               : 0.0;
-  double LabelPct =
-      LabelsOff ? 100.0 * static_cast<double>(LabelsOff - LabelsOn) /
-                      static_cast<double>(LabelsOff)
+  auto Pct = [](size_t From, size_t To) {
+    return From ? 100.0 * static_cast<double>(From - To) /
+                      static_cast<double>(From)
                 : 0.0;
-  std::printf("totals: labels %zu -> %zu (-%.1f%%), VC terms %zu -> %zu "
-              "(-%.1f%%), verify time %.1fs -> %.1fs\n",
-              LabelsOff, LabelsOn, LabelPct, TermsOff, TermsOn, TermPct,
-              TimeOff, TimeOn);
-  std::printf("verdict disagreements: %u (must be 0 — the prepass is "
+  };
+  std::printf("totals: labels %zu -> %zu (-%.1f%%), VC terms off %zu -> "
+              "base %zu (-%.1f%%) -> full %zu (-%.1f%% vs base), verify "
+              "time %.1fs -> %.1fs\n",
+              LabelsOff, LabelsFull, Pct(LabelsOff, LabelsFull), TermsOff,
+              TermsBase, Pct(TermsOff, TermsBase), TermsFull,
+              Pct(TermsBase, TermsFull), TimeOff, TimeFull);
+  std::printf("verdict disagreements: %u (must be 0 — every pipeline is "
               "verdict-preserving)\n",
               Disagreements);
-  return Disagreements == 0 && TermsOn <= TermsOff ? 0 : 1;
+  return Disagreements == 0 && TermsFull <= TermsBase && TermsBase <= TermsOff
+             ? 0
+             : 1;
 }

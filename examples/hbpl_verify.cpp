@@ -6,17 +6,21 @@
 //
 //   hbpl_verify FILE.hbpl [--entry NAME] [--bound N] [--strategy S]
 //               [--timeout SECS] [--inv] [--eager] [--passify]
-//               [--no-prepass] [--lint] [--dump-cfg] [--dump-dag]
+//               [--no-prepass] [--passes LIST] [--verify-each]
+//               [--print-after-all] [--list-passes] [--lint]
+//               [--dump-cfg] [--dump-dag]
 //
 // Strategies: none (tree / SI), first (DI default), random, randompick,
-// maxc, opt. Exit code: 0 safe, 1 usage/parse error, 10 bug, 20 timeout or
-// resource-out, 30 unknown.
+// maxc, opt. Exit code: 0 safe, 1 usage/parse error, 2 lint errors, 10 bug,
+// 20 timeout or resource-out, 30 unknown (including an aborted prepass
+// pipeline under --verify-each).
 //
 // Run with no arguments to verify a built-in demo program.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Lint.h"
+#include "analysis/PassManager.h"
 #include "cfg/Lower.h"
 #include "core/Consistency.h"
 #include "core/DotExport.h"
@@ -28,6 +32,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -67,8 +72,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: hbpl_verify FILE.hbpl [--entry NAME] [--bound N] "
                "[--strategy none|first|random|randompick|maxc|opt] "
-               "[--timeout SECS] [--inv] [--eager] [--no-prepass] [--lint] "
-               "[--dump-cfg]\n");
+               "[--timeout SECS] [--inv] [--eager] [--no-prepass] "
+               "[--passes LIST] [--verify-each] [--print-after-all] "
+               "[--list-passes] [--lint] [--dump-cfg]\n");
   return 1;
 }
 
@@ -122,6 +128,27 @@ int main(int argc, char **argv) {
       Opts.Engine.Pvc = PvcMode::Passified;
     } else if (Arg == "--no-prepass") {
       Opts.UsePrepass = false;
+    } else if (Arg == "--passes") {
+      const char *V = Value();
+      if (!V)
+        return usage();
+      Opts.Prepass.Passes = V;
+      std::string Error;
+      if (!PassPipeline::parse(Opts.Prepass.Passes, &Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 1;
+      }
+    } else if (Arg == "--verify-each") {
+      Opts.Prepass.VerifyEach = true;
+    } else if (Arg == "--print-after-all") {
+      Opts.Prepass.PrintAfterAll = true;
+    } else if (Arg == "--list-passes") {
+      for (const std::string &Name : PassRegistry::instance().names()) {
+        std::unique_ptr<Pass> P = PassRegistry::instance().create(Name);
+        std::printf("%-12s %s\n", Name.c_str(),
+                    std::string(P->description()).c_str());
+      }
+      return 0;
     } else if (Arg == "--lint") {
       Lint = true;
     } else if (Arg == "--dump-cfg") {
@@ -169,7 +196,10 @@ int main(int argc, char **argv) {
     LintReport LR = lintProgram(Ctx, *Prog, LintDiags);
     if (LR.total() != 0)
       std::printf("%s", LintDiags.str().c_str());
-    std::printf("lint: %u warning(s)\n\n", LR.total());
+    std::printf("lint: %u error(s), %u warning(s)\n\n", LR.errors(),
+                LR.warnings());
+    if (LR.hasErrors())
+      return 2;
   }
 
   if (DumpCfg) {
@@ -212,6 +242,14 @@ int main(int argc, char **argv) {
   }
 
   VerifierRunResult R = verifyProgram(Ctx, *Prog, Ctx.sym(EntryName), Opts);
+
+  if (!R.Prepass.ok()) {
+    for (const std::string &Msg : R.Prepass.PipelineErrors)
+      std::fprintf(stderr, "error: %s\n", Msg.c_str());
+    std::fprintf(stderr,
+                 "error: prepass pipeline aborted; refusing to solve\n");
+    return 30;
+  }
 
   std::printf("verdict:   %s\n", verdictName(R.Result.Outcome));
   std::printf("bound:     %u\n", Opts.Bound);

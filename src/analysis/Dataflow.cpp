@@ -2,8 +2,6 @@
 
 #include "analysis/Dataflow.h"
 
-#include "analysis/Slicer.h"
-
 #include <algorithm>
 #include <cassert>
 
@@ -353,10 +351,14 @@ bool isLiteralExpr(const Expr *E) {
   return E->kind() == ExprKind::IntLit || E->kind() == ExprKind::BoolLit;
 }
 
-/// Runs constant propagation over every procedure: folds expressions to
-/// literals, cuts the successors of definitely-false assumes, and deletes
-/// labels no execution reaches.
-void runConstPass(AstContext &Ctx, CfgProgram &Prog, PrepassReport &R) {
+bool isSkipLabel(const CfgLabel &L) {
+  return L.Stmt.Kind == CfgStmtKind::Assume && L.Stmt.E &&
+         L.Stmt.E->kind() == ExprKind::BoolLit && L.Stmt.E->boolValue();
+}
+
+} // namespace
+
+void rmt::runConstPass(AstContext &Ctx, CfgProgram &Prog, PrepassReport &R) {
   std::vector<ProcEffects> FX = computeProcEffects(Prog);
   std::vector<bool> Keep(Prog.Labels.size(), true);
   ConstPropAnalysis A(FX);
@@ -400,15 +402,8 @@ void runConstPass(AstContext &Ctx, CfgProgram &Prog, PrepassReport &R) {
       }
     }
   }
-  R.PrunedLabels = compactLabels(Prog, Keep);
+  R.PrunedLabels += compactLabels(Prog, Keep);
 }
-
-bool isSkipLabel(const CfgLabel &L) {
-  return L.Stmt.Kind == CfgStmtKind::Assume && L.Stmt.E &&
-         L.Stmt.E->kind() == ExprKind::BoolLit && L.Stmt.E->boolValue();
-}
-
-} // namespace
 
 //===----------------------------------------------------------------------===//
 // Structural compaction
@@ -600,6 +595,12 @@ void PrepassReport::record(Stats &S) const {
   S.add("prepass.stmts.sliced", SlicedStmts);
   S.add("prepass.calls.elided", ElidedCalls);
   S.add("prepass.procs.dead", DeadProcs);
+  S.add("prepass.exprs.propagated", PropagatedExprs);
+  S.add("prepass.assumes.redundant", RedundantAssumes);
+  S.add("prepass.assumes.contradicted", ContradictedAssumes);
+  S.add("prepass.inv.conjuncts", InvariantConjuncts);
+  S.add("prepass.audit.deadstores", AuditDeadStores);
+  S.add("prepass.audit.unreachable", AuditUnreachableLabels);
 }
 
 std::string PrepassReport::str() const {
@@ -611,35 +612,16 @@ std::string PrepassReport::str() const {
   Out += " (pruned " + std::to_string(PrunedLabels) + ", sliced " +
          std::to_string(SlicedStmts) + ", spliced " +
          std::to_string(SplicedLabels) + ", folded " +
-         std::to_string(FoldedExprs) + ", elided calls " +
-         std::to_string(ElidedCalls) + ", dead procs " +
+         std::to_string(FoldedExprs) + ", propagated " +
+         std::to_string(PropagatedExprs) + ", redundant assumes " +
+         std::to_string(RedundantAssumes + ContradictedAssumes) +
+         ", elided calls " + std::to_string(ElidedCalls) + ", dead procs " +
          std::to_string(DeadProcs) + ")";
+  if (AuditDeadStores + AuditUnreachableLabels != 0)
+    Out += " [lint audit: " + std::to_string(AuditDeadStores) +
+           " dead stores, " + std::to_string(AuditUnreachableLabels) +
+           " unreachable labels]";
+  if (!PipelineErrors.empty())
+    Out += " PIPELINE ABORTED: " + PipelineErrors.front();
   return Out;
-}
-
-PrepassReport rmt::runPrepass(AstContext &Ctx, CfgProgram &Prog,
-                              ProcId &Root, std::optional<Symbol> ErrGlobal,
-                              const PrepassOptions &Opts) {
-  PrepassReport R;
-  R.LabelsBefore = Prog.Labels.size();
-  R.ProcsBefore = Prog.Procs.size();
-
-  if (Opts.ConstantFold)
-    runConstPass(Ctx, Prog, R);
-
-  if (Opts.Slice) {
-    SliceReport S = sliceForQuery(Ctx, Prog, Root, ErrGlobal);
-    R.SlicedStmts = S.StmtsDropped;
-    R.ElidedCalls = S.CallsElided;
-  }
-
-  if (Opts.SpliceSkips)
-    R.SplicedLabels = spliceSkips(Prog);
-
-  if (Opts.DeadProcElim)
-    R.DeadProcs = dropDeadProcs(Prog, Root);
-
-  R.LabelsAfter = Prog.Labels.size();
-  R.ProcsAfter = Prog.Procs.size();
-  return R;
 }

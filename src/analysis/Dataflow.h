@@ -248,16 +248,38 @@ std::optional<ConstVal> evalConstExpr(const Expr *E, const ConstEnv &Env);
 // The verification prepass
 //===----------------------------------------------------------------------===//
 
-/// Pass toggles (all on by default).
+/// Pass toggles (all on by default) plus pipeline-level knobs. The toggles
+/// select passes of the default pipeline order
+///
+///   constprop → gvn → assumeelim → slice → splice → deadproc [→ inv]
+///
+/// while a nonempty Passes string replaces the toggles with an explicit
+/// pipeline (see PassManager.h).
 struct PrepassOptions {
   /// Constant propagation, expression folding, assume-false branch pruning.
   bool ConstantFold = true;
+  /// Value numbering + copy/expression propagation (Gvn.h).
+  bool Gvn = true;
+  /// Drop assumes entailed by value-numbered facts on all paths (Gvn.h).
+  bool AssumeElim = true;
   /// Cone-of-influence slicing from the reachability query (Slicer.h).
   bool Slice = true;
   /// Splice out `assume true` skip labels.
   bool SpliceSkips = true;
   /// Drop procedures unreachable from the root in the call graph.
   bool DeadProcElim = true;
+  /// Append interval-invariant injection (the paper's +Inv) last. Off by
+  /// default; the verifier sets it from VerifierOptions::UseInvariants.
+  bool Invariants = false;
+  /// Explicit pipeline, e.g. "constprop,gvn,slice". Overrides every toggle
+  /// above when nonempty.
+  std::string Passes;
+  /// Run the structural CFG verifier (VerifyCfg.h) on the input and after
+  /// every pass; any violation aborts the pipeline. Also enabled by the
+  /// RMT_VERIFY_EACH environment variable (CI runs Debug tests with it).
+  bool VerifyEach = false;
+  /// Dump the program to stderr after every pass that changed it.
+  bool PrintAfterAll = false;
 };
 
 /// What the prepass did, for Stats and reporting.
@@ -276,12 +298,37 @@ struct PrepassReport {
   unsigned SplicedLabels = 0;
   /// Procedures removed by call-graph reachability.
   unsigned DeadProcs = 0;
+  /// Subexpressions replaced by a congruent leader (GVN copy propagation).
+  unsigned PropagatedExprs = 0;
+  /// `assume e` labels proven entailed and reduced to skips.
+  unsigned RedundantAssumes = 0;
+  /// `assume e` labels proven contradictory and sharpened to assume false.
+  unsigned ContradictedAssumes = 0;
+  /// Invariant conjuncts injected by the inv pass (0 without +Inv).
+  unsigned InvariantConjuncts = 0;
+  /// Lint-audit pass: assignments no later statement can observe — residual
+  /// dead stores the transforming passes left behind (read-only diagnostic).
+  unsigned AuditDeadStores = 0;
+  /// Lint-audit pass: labels unreachable from their procedure's entry.
+  unsigned AuditUnreachableLabels = 0;
+  /// Structural-verifier diagnostics (--verify-each) or a pipeline
+  /// configuration error; nonempty means the pipeline aborted early and the
+  /// program must not be trusted.
+  std::vector<std::string> PipelineErrors;
+
+  bool ok() const { return PipelineErrors.empty(); }
 
   /// Records every counter into \p S under "prepass.*" keys.
   void record(Stats &S) const;
   /// One-line human-readable summary.
   std::string str() const;
 };
+
+/// Runs constant propagation over every procedure: folds expressions to
+/// literals, cuts the successors of definitely-false assumes, and deletes
+/// labels no execution reaches. Accumulates into R.PrunedLabels and
+/// R.FoldedExprs.
+void runConstPass(AstContext &Ctx, CfgProgram &Prog, PrepassReport &R);
 
 /// Deletes labels with KeepLabel[L] == false, renumbering labels and
 /// filtering target lists. Entry labels of every procedure must be kept.
@@ -298,20 +345,29 @@ unsigned dropDeadProcs(CfgProgram &Prog, ProcId &Root);
 /// Returns the number of labels removed.
 unsigned spliceSkips(CfgProgram &Prog);
 
-/// Runs the full prepass pipeline on \p Prog rooted at \p Root:
+/// Runs the prepass pipeline on \p Prog rooted at \p Root. The pipeline is
+/// assembled from \p Opts (see PrepassOptions; the default is
 ///
-///   constant folding + branch pruning  →  query slicing  →  skip splicing
-///   →  dead-procedure elimination.
+///   constant folding + branch pruning  →  GVN/copy propagation
+///   →  assume-redundancy elimination  →  query slicing  →  skip splicing
+///   →  dead-procedure elimination)
+///
+/// and executed through the pass manager (PassManager.h), which times each
+/// pass into \p S (when given) and re-verifies the structural invariants
+/// after each pass when Opts.VerifyEach is set.
 ///
 /// \p ErrGlobal is the reachability query variable ($err); when nullopt the
 /// query is plain termination reachability and only control-flow-relevant
 /// variables are kept. \p Root is updated if procedures are renumbered.
 /// Every transformation is verdict-preserving: the pruned program has a
 /// terminating $err-execution iff the original does, and every surviving
-/// counterexample is a counterexample of the original.
+/// counterexample is a counterexample of the original. Check
+/// PrepassReport::ok() — a pipeline configuration error or verifier failure
+/// leaves diagnostics in PipelineErrors.
 PrepassReport runPrepass(AstContext &Ctx, CfgProgram &Prog, ProcId &Root,
                          std::optional<Symbol> ErrGlobal,
-                         const PrepassOptions &Opts = {});
+                         const PrepassOptions &Opts = {},
+                         Stats *S = nullptr);
 
 } // namespace rmt
 

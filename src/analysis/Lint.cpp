@@ -209,6 +209,18 @@ LocKey keyOf(SrcLoc Loc) { return {Loc.Line, Loc.Col}; }
 // The pass
 //===----------------------------------------------------------------------===//
 
+LintSeverity rmt::lintSeverityOf(LintCheck Check) {
+  switch (Check) {
+  case LintCheck::UseBeforeDef:
+  case LintCheck::UndeclaredHavoc:
+    return LintSeverity::Error;
+  case LintCheck::UnreachableCode:
+  case LintCheck::DeadStore:
+    return LintSeverity::Warning;
+  }
+  return LintSeverity::Warning;
+}
+
 LintReport rmt::lintProgram(AstContext &Ctx, const Program &Prog,
                             DiagEngine &Diags, const LintOptions &Opts) {
   LintReport Report;
@@ -331,9 +343,11 @@ LintReport rmt::lintProgram(AstContext &Ctx, const Program &Prog,
     }
   }
 
-  // --- Dedup and emit in source order -------------------------------------
+  // --- Dedup, classify, and emit in source order --------------------------
   unsigned *Counters[4] = {&Report.UseBeforeDef, &Report.UnreachableCode,
                            &Report.DeadStores, &Report.UndeclaredHavocs};
+  LintCheck Checks[4] = {LintCheck::UseBeforeDef, LintCheck::UnreachableCode,
+                         LintCheck::DeadStore, LintCheck::UndeclaredHavoc};
   for (int C : {UBD, Unreach, Dead, BadHavoc}) {
     std::set<std::tuple<unsigned, unsigned, std::string>> Seen;
     std::vector<std::pair<SrcLoc, std::string>> Unique;
@@ -344,8 +358,13 @@ LintReport rmt::lintProgram(AstContext &Ctx, const Program &Prog,
       return std::tie(A.first.Line, A.first.Col, A.second) <
              std::tie(B.first.Line, B.first.Col, B.second);
     });
+    LintSeverity Sev = lintSeverityOf(Checks[C]);
     for (auto &[Loc, Msg] : Unique) {
-      Diags.warning(Loc, Msg);
+      if (Sev == LintSeverity::Error)
+        Diags.error(Loc, Msg);
+      else
+        Diags.warning(Loc, Msg);
+      Report.Findings.push_back({Checks[C], Sev, Loc, Msg});
       ++*Counters[C];
     }
   }

@@ -5,15 +5,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A lint pass over checked HBPL programs, reporting through DiagEngine:
+/// A lint pass over checked HBPL programs, reporting through DiagEngine and
+/// a structured report:
 ///
-///  * use-before-def — a local or return variable read on some path before
-///    any assignment, havoc, or call result reaches it;
-///  * unreachable code — statements no control-flow path from the procedure
-///    entry reaches (e.g. code after `return`);
-///  * dead stores — assignments to locals whose value no later statement can
-///    read;
-///  * havoc of undeclared variables.
+///  * use-before-def (error) — a local or return variable read on some path
+///    before any assignment, havoc, or call result reaches it, i.e. a read
+///    of garbage the program never chose to make nondeterministic;
+///  * havoc of undeclared variables (error) — the program is malformed;
+///  * unreachable code (warning) — statements no control-flow path from the
+///    procedure entry reaches (e.g. code after `return`);
+///  * dead stores (warning) — assignments to locals whose value no later
+///    statement can read.
+///
+/// Error-severity findings make `hbpl_verify --lint` exit nonzero (exit
+/// code 2), so the lint gate is scriptable in CI.
 ///
 /// The pass reuses the verification front half: asserts become empty
 /// branches (so their conditions still count as reads), loops are unrolled a
@@ -32,6 +37,9 @@
 #include "ast/Stmt.h"
 #include "support/Diag.h"
 
+#include <string>
+#include <vector>
+
 namespace rmt {
 
 struct LintOptions {
@@ -40,8 +48,34 @@ struct LintOptions {
   unsigned UnrollBound = 2;
 };
 
-/// Count of diagnostics per category.
+/// Which check produced a finding.
+enum class LintCheck {
+  UseBeforeDef,
+  UnreachableCode,
+  DeadStore,
+  UndeclaredHavoc,
+};
+
+/// Severity of a finding. Errors gate the CLI's exit code; warnings are
+/// advisory.
+enum class LintSeverity { Error, Warning };
+
+/// Severity a check carries (use-before-def and undeclared havocs are
+/// errors; unreachable code and dead stores are warnings).
+LintSeverity lintSeverityOf(LintCheck Check);
+
+/// One deduplicated finding, in source order.
+struct LintFinding {
+  LintCheck Check;
+  LintSeverity Severity;
+  SrcLoc Loc;
+  std::string Message;
+};
+
+/// Structured lint results: the findings themselves plus per-category counts.
 struct LintReport {
+  std::vector<LintFinding> Findings;
+
   unsigned UseBeforeDef = 0;
   unsigned UnreachableCode = 0;
   unsigned DeadStores = 0;
@@ -50,10 +84,14 @@ struct LintReport {
   unsigned total() const {
     return UseBeforeDef + UnreachableCode + DeadStores + UndeclaredHavocs;
   }
+  unsigned errors() const { return UseBeforeDef + UndeclaredHavocs; }
+  unsigned warnings() const { return UnreachableCode + DeadStores; }
+  bool hasErrors() const { return errors() != 0; }
 };
 
-/// Lints \p Prog (which must be type-checked), emitting warnings into
-/// \p Diags in source order. Never emits errors.
+/// Lints \p Prog (which must be type-checked), returning the structured
+/// report and mirroring every finding into \p Diags at its severity, in
+/// source order per check.
 LintReport lintProgram(AstContext &Ctx, const Program &Prog,
                        DiagEngine &Diags, const LintOptions &Opts = {});
 

@@ -1,0 +1,64 @@
+//===- VerifyCfg.h - Structural CFG invariant verifier ----------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structural verifier for the paper's Fig. 7 label form, in the spirit of
+/// LLVM's IR verifier: every prepass transformation must leave the program
+/// well-formed, and the pass manager can re-check after each pass
+/// (`--verify-each`) so a miscompiling pass fails loudly at its own doorstep
+/// instead of corrupting the engine's input silently.
+///
+/// Checked invariants:
+///
+///  * label table shape — every label is owned by exactly one procedure,
+///    its `Proc` back-pointer matches, and every procedure's entry label is
+///    among the labels it owns;
+///  * successor closure — every successor id is a valid label of the *same*
+///    procedure (flow never crosses procedure boundaries; calls are
+///    statements, not edges);
+///  * hierarchy — every intraprocedural flow graph is acyclic and the call
+///    graph is acyclic (Section 3's definition of a hierarchical program);
+///  * call shape — callees are valid procedure ids, argument and result
+///    arities match the callee signature, and argument/result types match
+///    parameter/return types;
+///  * scope — every variable a statement references (expression leaves,
+///    assignment targets, havoc lists, call result bindings) is declared in
+///    the owning procedure's scope with a matching type, and `assume`
+///    conditions are bool-typed;
+///  * `$err` instrumentation shape (only when the query variable is given) —
+///    the error bit is a bool global that is never havocked and never bound
+///    as a call result, and every assignment to it is bool-typed.
+///
+/// The verifier never mutates the program and reports *all* violations, each
+/// as one precise human-readable diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_ANALYSIS_VERIFYCFG_H
+#define RMT_ANALYSIS_VERIFYCFG_H
+
+#include "ast/AstContext.h"
+#include "cfg/Cfg.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rmt {
+
+/// Verifies the structural invariants of \p Prog. Returns one diagnostic per
+/// violation; an empty vector means the program is well-formed. \p ErrGlobal
+/// enables the instrumentation-shape checks; \p Root (when valid) is checked
+/// to be a valid procedure id.
+std::vector<std::string> verifyCfg(const AstContext &Ctx,
+                                   const CfgProgram &Prog,
+                                   ProcId Root = InvalidProc,
+                                   std::optional<Symbol> ErrGlobal =
+                                       std::nullopt);
+
+} // namespace rmt
+
+#endif // RMT_ANALYSIS_VERIFYCFG_H

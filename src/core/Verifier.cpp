@@ -30,14 +30,24 @@ VerifierRunResult rmt::verifyProgram(AstContext &Ctx, const Program &Prog,
   Out.NumProcsSolved = Out.NumProcs;
   Out.NumLabelsSolved = Out.NumLabels;
   if (Opts.UsePrepass) {
-    Out.Prepass =
-        runPrepass(Ctx, Cfg, EntryProc, Instance.ErrVar, Opts.Prepass);
+    // +Inv rides the pipeline as its last pass (unless an explicit
+    // --passes list took over the ordering).
+    PrepassOptions PO = Opts.Prepass;
+    PO.Invariants = PO.Invariants || Opts.UseInvariants;
+    Out.Prepass = runPrepass(Ctx, Cfg, EntryProc, Instance.ErrVar, PO,
+                             &Out.PrepassStats);
     Out.Prepass.record(Out.PrepassStats);
+    Out.InvariantConjuncts = Out.Prepass.InvariantConjuncts;
     Out.NumProcsSolved = Cfg.Procs.size();
     Out.NumLabelsSolved = Cfg.Labels.size();
-  }
-
-  if (Opts.UseInvariants) {
+    if (!Out.Prepass.ok()) {
+      // A pass broke a structural invariant (--verify-each) or the pipeline
+      // spec did not parse: the rewritten program cannot be trusted, so
+      // refuse to solve it rather than risk a wrong verdict.
+      Out.Result.Outcome = Verdict::Unknown;
+      return Out;
+    }
+  } else if (Opts.UseInvariants) {
     InvariantReport Report = injectInvariants(Ctx, Cfg, EntryProc);
     Out.InvariantConjuncts = Report.Conjuncts;
   }

@@ -31,12 +31,18 @@ struct VerifierOptions {
   unsigned Bound = 2;
   /// Run the interval-invariant prepass ("+Inv" of Section 4).
   bool UseInvariants = false;
-  /// Run the static-analysis prepass (constant folding, branch pruning,
-  /// query slicing, skip splicing, dead-procedure elimination) on the
-  /// lowered program before the engine. On by default; --no-prepass in the
-  /// CLI.
+  /// Run the static-analysis prepass pipeline (constant folding, branch
+  /// pruning, GVN/copy propagation, assume-redundancy elimination, query
+  /// slicing, skip splicing, dead-procedure elimination) on the lowered
+  /// program before the engine. On by default; --no-prepass in the CLI. With
+  /// UseInvariants, invariant injection runs as the pipeline's last pass. A
+  /// pipeline failure (--verify-each violation or a bad --passes spec) makes
+  /// the run return Verdict::Unknown with diagnostics in
+  /// Prepass.PipelineErrors rather than solve a possibly-miscompiled
+  /// program.
   bool UsePrepass = true;
-  /// Fine-grained prepass toggles (only consulted when UsePrepass).
+  /// Fine-grained prepass toggles, explicit pass list, and pipeline knobs
+  /// (only consulted when UsePrepass).
   PrepassOptions Prepass;
   /// Engine configuration (strategy, timeout, eager mode, limits).
   EngineOptions Engine;

@@ -73,6 +73,25 @@ private:
                       Ctx.tBinary(BinOp::Add, stateRef(), Ctx.tInt(Amount)));
   }
 
+  /// Compiled-driver idiom: the status value threads through a chain of
+  /// temporaries before reaching the state update (`s0 := state; s1 := s0;
+  /// state := s1 + k`). Semantically the same as bumpState — value numbering
+  /// collapses the chain so slicing can reclaim the dead copies.
+  void pushStatusChain(Procedure &U, int64_t Amount) {
+    unsigned Len = static_cast<unsigned>(Gen.range(2, 3));
+    Symbol Prev;
+    for (unsigned I = 0; I < Len; ++I) {
+      Symbol S = Ctx.sym("status" + std::to_string(I));
+      U.Locals.push_back({S, Ctx.intType(), SrcLoc()});
+      U.Body.push_back(Ctx.assign(
+          S, I == 0 ? stateRef() : Ctx.tVar(Prev, Ctx.intType())));
+      Prev = S;
+    }
+    U.Body.push_back(Ctx.assign(
+        State, Ctx.tBinary(BinOp::Add, Ctx.tVar(Prev, Ctx.intType()),
+                           Ctx.tInt(Amount))));
+  }
+
   /// Layered utility DAG. Layer L utilities call layer L+1 utilities through
   /// both arms of a nondeterministic branch: a full tree unrolling doubles
   /// per layer while the DAG stays linear in depth.
@@ -87,7 +106,7 @@ private:
           U.Body.push_back(bumpState(Gen.range(0, 3)));
           U.Body.push_back(Ctx.call(Ctx.sym("KeReleaseLock"), {}, {}));
         } else {
-          U.Body.push_back(bumpState(Gen.range(0, 3)));
+          pushStatusChain(U, Gen.range(0, 3));
         }
         // The monotone state invariant the rule checks everywhere.
         if (Gen.chance(1, 2))
@@ -117,10 +136,17 @@ private:
       Handler.Params.push_back({Opcode, Ctx.intType(), SrcLoc()});
       const Expr *OpRef = Ctx.tVar(Opcode, Ctx.intType());
 
+      // Opcode validation at entry, re-checked after the utility calls — the
+      // inlined-macro pattern compiled drivers are full of. The calls never
+      // touch the opcode, so the re-check is entailed on every path and
+      // assume-redundancy elimination drops it.
+      const Expr *OpValid = Ctx.tBinary(BinOp::Ge, OpRef, Ctx.tInt(0));
+      Handler.Body.push_back(Ctx.assume(OpValid));
       for (unsigned C = 0; C < P.CallsPerHandler; ++C) {
         Symbol A = utilName(0, Gen.below(P.NumUtils));
         Symbol B = utilName(0, Gen.below(P.NumUtils));
         Handler.Body.push_back(branchCalls(A, B));
+        Handler.Body.push_back(Ctx.assume(OpValid));
       }
       Handler.Body.push_back(
           Ctx.assertStmt(Ctx.tUnary(UnOp::Not, lockRef())));

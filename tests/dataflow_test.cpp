@@ -412,6 +412,118 @@ TEST(Prepass, SlicesIrrelevantStateAndElidesCalls) {
   EXPECT_EQ(Cfg.findProc(Ctx.sym("logger")), InvalidProc);
 }
 
+TEST(Prepass, SlicesDeadMapStores) {
+  // A map store lowers to a whole-array assignment `log := log[i := 1]`; when
+  // the map never reaches the query, the store is as sliceable as any scalar.
+  AstContext Ctx;
+  auto P = parse(R"(
+    var log: [int]int;
+    var data: [int]int;
+    procedure main() {
+      var i: int;
+      havoc i;
+      log[i] := 1;
+      data[i] := 7;
+      assert data[i] == 7;
+    }
+  )",
+                 Ctx);
+  ProcId Root;
+  Symbol Err;
+  CfgProgram Cfg = lower(Ctx, *P, Root, Err);
+  Relevance Rel(Cfg, Err);
+  EXPECT_TRUE(Rel.relevantGlobal(Ctx.sym("data")));
+  EXPECT_FALSE(Rel.relevantGlobal(Ctx.sym("log")));
+
+  // Slice in isolation: the dead log store goes, the live data store stays.
+  // (The full default pipeline is stronger still — GVN folds the select-of-
+  // store to 7 == 7 and the entire body collapses, which the verdict check
+  // below covers.)
+  PrepassOptions SliceOnly;
+  SliceOnly.Passes = "slice";
+  PrepassReport R = runPrepass(Ctx, Cfg, Root, Err, SliceOnly);
+  EXPECT_GT(R.SlicedStmts, 0u);
+  bool SawDataStore = false, SawLogStore = false;
+  for (const CfgLabel &L : Cfg.Labels)
+    if (L.Stmt.Kind == CfgStmtKind::Assign) {
+      SawDataStore |= Ctx.name(L.Stmt.Target) == "data";
+      SawLogStore |= Ctx.name(L.Stmt.Target) == "log";
+    }
+  EXPECT_TRUE(SawDataStore);
+  EXPECT_FALSE(SawLogStore);
+
+  VerifierOptions Opts;
+  Opts.Engine.Strategy.Kind = MergeStrategyKind::First;
+  EXPECT_EQ(verifyProgram(Ctx, *P, Ctx.sym("main"), Opts).Result.Outcome,
+            Verdict::Safe);
+}
+
+TEST(Prepass, KeepsAliasingMapStores) {
+  // `m[i] := 2` with unconstrained i may overwrite m[0]. The slicer works at
+  // whole-variable granularity, so the aliasing store is relevant and must
+  // survive — dropping it would flip this bug to safe.
+  AstContext Ctx;
+  auto P = parse(R"(
+    var m: [int]int;
+    procedure main() {
+      var i: int;
+      havoc i;
+      m[0] := 1;
+      m[i] := 2;
+      assert m[0] == 1;
+    }
+  )",
+                 Ctx);
+  VerifierOptions On;
+  On.Engine.Strategy.Kind = MergeStrategyKind::First;
+  VerifierOptions Off = On;
+  Off.UsePrepass = false;
+  EXPECT_EQ(verifyProgram(Ctx, *P, Ctx.sym("main"), On).Result.Outcome,
+            Verdict::Bug);
+  EXPECT_EQ(verifyProgram(Ctx, *P, Ctx.sym("main"), Off).Result.Outcome,
+            Verdict::Bug);
+}
+
+TEST(Prepass, MapRelevanceCrossesCalls) {
+  // The store happens in the callee through a parameter pair; the relevance
+  // closure must pull both actuals at the call site, and the sliced program
+  // must still prove the read.
+  AstContext Ctx;
+  auto P = parse(R"(
+    var store: [int]int;
+    var trace: [int]int;
+    procedure put(k: int, v: int) {
+      store[k] := v;
+      trace[v] := k;
+    }
+    procedure main() {
+      var x: int;
+      call put(3, 40);
+      x := store[3];
+      assert x == 40;
+    }
+  )",
+                 Ctx);
+  ProcId Root;
+  Symbol Err;
+  CfgProgram Cfg = lower(Ctx, *P, Root, Err);
+  Relevance Rel(Cfg, Err);
+  ProcId Put = Cfg.findProc(Ctx.sym("put"));
+  ASSERT_NE(Put, InvalidProc);
+  EXPECT_TRUE(Rel.relevantGlobal(Ctx.sym("store")));
+  EXPECT_TRUE(Rel.relevant(Put, Ctx.sym("k")));
+  EXPECT_TRUE(Rel.relevant(Put, Ctx.sym("v")));
+  EXPECT_FALSE(Rel.relevantGlobal(Ctx.sym("trace")));
+
+  PrepassReport R = runPrepass(Ctx, Cfg, Root, Err);
+  EXPECT_GT(R.SlicedStmts, 0u); // the trace store goes
+
+  VerifierOptions Opts;
+  Opts.Engine.Strategy.Kind = MergeStrategyKind::First;
+  EXPECT_EQ(verifyProgram(Ctx, *P, Ctx.sym("main"), Opts).Result.Outcome,
+            Verdict::Safe);
+}
+
 TEST(Prepass, SpliceSkipsCompactsChains) {
   AstContext Ctx;
   CfgBuilder B(Ctx);
@@ -502,7 +614,8 @@ LintReport lintSource(const char *Src, std::vector<Diag> *DiagsOut = nullptr) {
   auto P = parse(Src, Ctx);
   DiagEngine Diags;
   LintReport R = lintProgram(Ctx, *P, Diags);
-  EXPECT_FALSE(Diags.hasErrors());
+  // Error-severity diagnostics must line up with the report's error count.
+  EXPECT_EQ(Diags.hasErrors(), R.hasErrors());
   if (DiagsOut)
     *DiagsOut = Diags.all();
   return R;
@@ -532,6 +645,21 @@ TEST(Lint, FlagsUseBeforeDef) {
                             &Diags);
   EXPECT_EQ(R.UseBeforeDef, 1u);
   EXPECT_TRUE(anyDiagContains(Diags, "'x' may be used before", 5));
+  // Use-before-def is error severity and shows up in the structured report.
+  EXPECT_TRUE(R.hasErrors());
+  EXPECT_EQ(R.errors(), 1u);
+  EXPECT_EQ(R.warnings(), 0u);
+  ASSERT_EQ(R.Findings.size(), 1u);
+  EXPECT_EQ(R.Findings[0].Check, LintCheck::UseBeforeDef);
+  EXPECT_EQ(R.Findings[0].Severity, LintSeverity::Error);
+  EXPECT_EQ(R.Findings[0].Loc.Line, 5u);
+}
+
+TEST(Lint, SeverityMapping) {
+  EXPECT_EQ(lintSeverityOf(LintCheck::UseBeforeDef), LintSeverity::Error);
+  EXPECT_EQ(lintSeverityOf(LintCheck::UndeclaredHavoc), LintSeverity::Error);
+  EXPECT_EQ(lintSeverityOf(LintCheck::UnreachableCode), LintSeverity::Warning);
+  EXPECT_EQ(lintSeverityOf(LintCheck::DeadStore), LintSeverity::Warning);
 }
 
 TEST(Lint, DefiniteAssignmentJoinsBranches) {
@@ -594,6 +722,12 @@ TEST(Lint, FlagsDeadStores) {
                             &Diags);
   EXPECT_EQ(R.DeadStores, 1u);
   EXPECT_TRUE(anyDiagContains(Diags, "dead store to 't'", 5));
+  // Dead stores are warnings: they never gate the lint exit code.
+  EXPECT_FALSE(R.hasErrors());
+  EXPECT_EQ(R.warnings(), 1u);
+  ASSERT_EQ(R.Findings.size(), 1u);
+  EXPECT_EQ(R.Findings[0].Check, LintCheck::DeadStore);
+  EXPECT_EQ(R.Findings[0].Severity, LintSeverity::Warning);
 }
 
 TEST(Lint, GlobalStoresAreNeverDead) {
@@ -653,4 +787,6 @@ TEST(Lint, CleanProgramHasNoWarnings) {
     }
   )");
   EXPECT_EQ(R.total(), 0u);
+  EXPECT_TRUE(R.Findings.empty());
+  EXPECT_FALSE(R.hasErrors());
 }

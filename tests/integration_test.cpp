@@ -266,12 +266,22 @@ TEST(EndToEnd, AccountDoubleOpenBug) {
 namespace {
 
 void expectPrepassAgrees(AstContext &Ctx, const Program &P, unsigned Bound,
-                         const std::string &What) {
+                         const std::string &What,
+                         const std::string &Passes = "") {
   VerifierOptions On = optsFor(MergeStrategyKind::First, Bound);
+  // Re-check the Fig. 7 structural invariants after every pass: any pipeline
+  // configuration that corrupts the label form fails here, not downstream.
+  On.Prepass.VerifyEach = true;
+  On.Prepass.Passes = Passes;
   VerifierOptions Off = On;
   Off.UsePrepass = false;
   auto ROn = verifyProgram(Ctx, P, Ctx.sym("main"), On);
   auto ROff = verifyProgram(Ctx, P, Ctx.sym("main"), Off);
+  ASSERT_TRUE(ROn.Prepass.ok())
+      << "pipeline aborted on " << What << ": "
+      << (ROn.Prepass.PipelineErrors.empty()
+              ? std::string("<no diagnostics>")
+              : ROn.Prepass.PipelineErrors.front());
   ASSERT_TRUE(ROff.Result.Outcome == Verdict::Safe ||
               ROff.Result.Outcome == Verdict::Bug)
       << "unexpected baseline verdict on " << What;
@@ -334,4 +344,44 @@ TEST(PrepassDifferentialChain, ChainFamilyAgrees) {
                           "chain N=" + std::to_string(N) +
                               (Buggy ? " buggy" : " safe"));
     }
+}
+
+TEST(PrepassDifferentialPipelines, PermutationsAgreeUnderVerifyEach) {
+  // Every pass is individually verdict-preserving, so any ordering (and any
+  // repetition) must agree with the no-prepass baseline; --verify-each keeps
+  // each step honest about the label-form invariants along the way.
+  const char *Specs[] = {
+      "gvn,assumeelim,splice,constprop,slice,deadproc", // gvn before constprop
+      "slice,deadproc,constprop,gvn,assumeelim,splice", // slice first
+      "assumeelim,gvn,assumeelim",                      // elim around gvn
+      "constprop,constprop,gvn,gvn,splice,splice",      // idempotence
+      "deadproc,splice",                                // reductions only
+      "gvn",                                            // a single pass
+  };
+  for (const char *Spec : Specs) {
+    for (unsigned N : {1u, 4u, 8u})
+      for (bool Buggy : {false, true}) {
+        AstContext Ctx;
+        Program P = makeChainProgram(Ctx, N, Buggy);
+        expectPrepassAgrees(Ctx, P, 2,
+                            "chain N=" + std::to_string(N) +
+                                (Buggy ? " buggy" : " safe") + " passes=" +
+                                Spec,
+                            Spec);
+      }
+    for (uint64_t Seed : {11u, 29u, 53u}) {
+      RandomProgParams Params;
+      Params.Seed = Seed * 7919 + 3;
+      Params.NumProcs = 4;
+      Params.MaxStmts = 4;
+      Params.AllowLoops = Seed % 2 == 0;
+      Params.AllowArrays = Seed % 3 == 0;
+      AstContext Ctx;
+      Program P = makeRandomProgram(Ctx, Params);
+      expectPrepassAgrees(Ctx, P, 3,
+                          "random seed " + std::to_string(Seed) +
+                              " passes=" + Spec,
+                          Spec);
+    }
+  }
 }
