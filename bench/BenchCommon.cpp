@@ -2,8 +2,12 @@
 
 #include "BenchCommon.h"
 
+#include "support/Trace.h"
+
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 using namespace rmt;
 using namespace rmt::bench;
@@ -72,4 +76,64 @@ unsigned rmt::bench::envCount(unsigned Default) {
   if (const char *V = std::getenv("RMT_BENCH_COUNT"))
     return static_cast<unsigned>(std::atoi(V));
   return Default;
+}
+
+namespace {
+
+/// A JSON value for one cell: numeric-looking cells go out unquoted so
+/// downstream tooling gets numbers, everything else as an escaped string.
+std::string cellJson(const std::string &Cell) {
+  if (!Cell.empty()) {
+    char *End = nullptr;
+    double V = std::strtod(Cell.c_str(), &End);
+    if (End && *End == '\0' && End != Cell.c_str() && std::isfinite(V))
+      return Cell;
+  }
+  return "\"" + jsonEscape(Cell) + "\"";
+}
+
+} // namespace
+
+std::string rmt::bench::tableJson(
+    const std::string &BenchName, const Table &T,
+    const std::vector<std::pair<std::string, std::string>> &Meta) {
+  std::string Out = "{\n\"bench\": \"" + jsonEscape(BenchName) + "\",\n";
+  Out += "\"meta\": {";
+  for (size_t I = 0; I < Meta.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += "\"" + jsonEscape(Meta[I].first) + "\":" + cellJson(Meta[I].second);
+  }
+  Out += "},\n\"rows\": [";
+  const std::vector<std::string> &Header = T.header();
+  for (size_t R = 0; R < T.rows().size(); ++R) {
+    const std::vector<std::string> &Row = T.rows()[R];
+    Out += R ? ",\n{" : "\n{";
+    for (size_t C = 0; C < Row.size() && C < Header.size(); ++C) {
+      if (C)
+        Out += ",";
+      Out += "\"" + jsonEscape(Header[C]) + "\":" + cellJson(Row[C]);
+    }
+    Out += "}";
+  }
+  Out += "\n]\n}\n";
+  return Out;
+}
+
+bool rmt::bench::writeBenchJson(
+    const std::string &BenchName, const Table &T,
+    const std::vector<std::pair<std::string, std::string>> &Meta) {
+  std::string Dir = ".";
+  if (const char *V = std::getenv("RMT_BENCH_JSON_DIR"))
+    Dir = V;
+  std::string Path = Dir + "/BENCH_" + BenchName + ".json";
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (Out)
+    Out << tableJson(BenchName, T, Meta);
+  if (!Out.flush()) {
+    std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "wrote %s\n", Path.c_str());
+  return true;
 }

@@ -12,6 +12,11 @@
 ///
 ///   RMT_BENCH_TIMEOUT  — per-instance timeout seconds (default per bench)
 ///   RMT_BENCH_COUNT    — corpus size (default per bench)
+///   RMT_BENCH_JSON_DIR — directory for BENCH_*.json result files (default .)
+///
+/// Benches that feed the perf trajectory write their result table as
+/// `BENCH_<name>.json` via writeBenchJson(), so runs are machine-readable
+/// and diffable across commits.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,9 +24,11 @@
 #define RMT_BENCH_BENCHCOMMON_H
 
 #include "core/Verifier.h"
+#include "support/Table.h"
 #include "workload/SdvGen.h"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rmt {
@@ -60,6 +67,19 @@ std::vector<EngineConfig> standardConfigs();
 /// Environment overrides with defaults.
 double envTimeout(double Default);
 unsigned envCount(unsigned Default);
+
+/// Renders \p T as a JSON document
+///   {"bench": <name>, "meta": {...}, "rows": [{col: value, ...}, ...]}
+/// with cells that parse fully as numbers emitted unquoted.
+std::string
+tableJson(const std::string &BenchName, const Table &T,
+          const std::vector<std::pair<std::string, std::string>> &Meta = {});
+
+/// Writes tableJson() to `BENCH_<name>.json` under RMT_BENCH_JSON_DIR
+/// (default: the working directory). Logs the path; false on I/O failure.
+bool writeBenchJson(
+    const std::string &BenchName, const Table &T,
+    const std::vector<std::pair<std::string, std::string>> &Meta = {});
 
 } // namespace bench
 } // namespace rmt

@@ -195,6 +195,21 @@ int main() {
   std::printf("verdict disagreements: %u (must be 0 — every pipeline is "
               "verdict-preserving)\n",
               Disagreements);
+
+  writeBenchJson(
+      "prepass", T,
+      {{"count", std::to_string(Count)},
+       {"timeout_s", std::to_string(Timeout)},
+       {"baseline_passes", BaselinePasses},
+       {"terms_off", std::to_string(TermsOff)},
+       {"terms_base", std::to_string(TermsBase)},
+       {"terms_full", std::to_string(TermsFull)},
+       {"labels_off", std::to_string(LabelsOff)},
+       {"labels_full", std::to_string(LabelsFull)},
+       {"time_off_s", std::to_string(TimeOff)},
+       {"time_full_s", std::to_string(TimeFull)},
+       {"disagreements", std::to_string(Disagreements)}});
+
   return Disagreements == 0 && TermsFull <= TermsBase && TermsBase <= TermsOff
              ? 0
              : 1;

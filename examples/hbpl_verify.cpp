@@ -8,12 +8,18 @@
 //               [--timeout SECS] [--inv] [--eager] [--passify]
 //               [--no-prepass] [--passes LIST] [--verify-each]
 //               [--print-after-all] [--list-passes] [--lint]
-//               [--dump-cfg] [--dump-dag]
+//               [--dump-cfg] [--dump-dag] [--trace-out FILE]
+//               [--stats-json FILE] [--stats]
 //
 // Strategies: none (tree / SI), first (DI default), random, randompick,
 // maxc, opt. Exit code: 0 safe, 1 usage/parse error, 2 lint errors, 10 bug,
 // 20 timeout or resource-out, 30 unknown (including an aborted prepass
 // pipeline under --verify-each).
+//
+// Observability: --trace-out writes a Chrome trace_event JSON timeline
+// (chrome://tracing / Perfetto) of the whole run; --stats-json writes a
+// machine-readable stats document (counters, times, span aggregates);
+// --stats prints the merged stats bag to stdout.
 //
 // Run with no arguments to verify a built-in demo program.
 //
@@ -26,6 +32,7 @@
 #include "core/DotExport.h"
 #include "core/Verifier.h"
 #include "parser/Parser.h"
+#include "support/Trace.h"
 #include "transform/Transforms.h"
 
 #include <cstdio>
@@ -74,7 +81,8 @@ int usage() {
                "[--strategy none|first|random|randompick|maxc|opt] "
                "[--timeout SECS] [--inv] [--eager] [--no-prepass] "
                "[--passes LIST] [--verify-each] [--print-after-all] "
-               "[--list-passes] [--lint] [--dump-cfg]\n");
+               "[--list-passes] [--lint] [--dump-cfg] [--trace-out FILE] "
+               "[--stats-json FILE] [--stats]\n");
   return 1;
 }
 
@@ -89,6 +97,9 @@ int main(int argc, char **argv) {
   bool DumpCfg = false;
   bool DumpDag = false;
   bool Lint = false;
+  bool PrintStats = false;
+  std::string TraceOut;
+  std::string StatsJsonOut;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -149,6 +160,18 @@ int main(int argc, char **argv) {
                     std::string(P->description()).c_str());
       }
       return 0;
+    } else if (Arg == "--trace-out") {
+      const char *V = Value();
+      if (!V)
+        return usage();
+      TraceOut = V;
+    } else if (Arg == "--stats-json") {
+      const char *V = Value();
+      if (!V)
+        return usage();
+      StatsJsonOut = V;
+    } else if (Arg == "--stats") {
+      PrintStats = true;
     } else if (Arg == "--lint") {
       Lint = true;
     } else if (Arg == "--dump-cfg") {
@@ -241,7 +264,42 @@ int main(int argc, char **argv) {
     std::printf("%s", inliningDagToDot(Ctx, Vc).c_str());
   }
 
+  // Enable telemetry whenever any exporter wants it; span aggregates feed
+  // --stats-json even when no Chrome trace is requested.
+  Trace Telemetry;
+  if (!TraceOut.empty() || !StatsJsonOut.empty()) {
+    Telemetry.setEnabled(true);
+    Opts.Telemetry = &Telemetry;
+  }
+
   VerifierRunResult R = verifyProgram(Ctx, *Prog, Ctx.sym(EntryName), Opts);
+
+  // One machine-readable stats bag for the whole run: prepass pass counters
+  // plus the engine's "engine.*" keys and front-end sizes.
+  Stats RunStats;
+  RunStats.merge(R.PrepassStats);
+  R.Result.record(RunStats);
+  RunStats.add("verify.asserts", R.NumAsserts);
+  RunStats.add("verify.bound", Opts.Bound);
+  RunStats.add("verify.procs", static_cast<int64_t>(R.NumProcs));
+  RunStats.add("verify.labels", static_cast<int64_t>(R.NumLabels));
+  RunStats.add("verify.procs_solved", static_cast<int64_t>(R.NumProcsSolved));
+  RunStats.add("verify.labels_solved",
+               static_cast<int64_t>(R.NumLabelsSolved));
+
+  if (!TraceOut.empty() && !Telemetry.writeChromeJson(TraceOut)) {
+    std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                 TraceOut.c_str());
+    return 1;
+  }
+  if (!StatsJsonOut.empty() &&
+      !Telemetry.writeStatsJson(StatsJsonOut, &RunStats)) {
+    std::fprintf(stderr, "error: cannot write stats to '%s'\n",
+                 StatsJsonOut.c_str());
+    return 1;
+  }
+  if (PrintStats)
+    std::printf("stats:\n%s\n", RunStats.str().c_str());
 
   if (!R.Prepass.ok()) {
     for (const std::string &Msg : R.Prepass.PipelineErrors)

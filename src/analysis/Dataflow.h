@@ -53,6 +53,8 @@
 
 namespace rmt {
 
+class Trace;
+
 //===----------------------------------------------------------------------===//
 // Flow-graph view
 //===----------------------------------------------------------------------===//
@@ -280,6 +282,9 @@ struct PrepassOptions {
   bool VerifyEach = false;
   /// Dump the program to stderr after every pass that changed it.
   bool PrintAfterAll = false;
+  /// Optional event recorder (support/Trace.h): the pipeline runs under a
+  /// "prepass.pipeline" span with per-pass child spans.
+  Trace *Telemetry = nullptr;
 };
 
 /// What the prepass did, for Stats and reporting.

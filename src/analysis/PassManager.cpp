@@ -341,8 +341,11 @@ std::vector<std::string> PassPipeline::run(PassContext &PC,
 
   for (const auto &P : Passes) {
     std::string Name(P->name());
+    TraceSpan Span(Opts.Telemetry, "pass." + Name);
     Stopwatch Watch;
     bool Changed = P->run(PC);
+    Span.note({"changed", Changed ? 1 : 0});
+    Span.close();
     if (S) {
       S->addTime("pass." + Name + ".seconds", Watch.seconds());
       S->add("pass." + Name + ".runs");
@@ -390,9 +393,14 @@ PrepassReport rmt::runPrepass(AstContext &Ctx, CfgProgram &Prog, ProcId &Root,
   PipelineOptions PO;
   PO.VerifyEach = Opts.VerifyEach || std::getenv("RMT_VERIFY_EACH") != nullptr;
   PO.PrintAfterAll = Opts.PrintAfterAll;
+  PO.Telemetry = Opts.Telemetry;
 
+  TraceSpan Span(PO.Telemetry, "prepass.pipeline",
+                 {{"passes", PL.str()}, {"labels", R.LabelsBefore}});
   PassContext PC{Ctx, Prog, Root, ErrGlobal, R};
   R.PipelineErrors = PL.run(PC, PO, S);
+  Span.note({"labels_after", Prog.Labels.size()});
+  Span.close();
 
   R.LabelsAfter = Prog.Labels.size();
   R.ProcsAfter = Prog.Procs.size();

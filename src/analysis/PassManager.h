@@ -42,6 +42,7 @@
 #include "ast/AstContext.h"
 #include "cfg/Cfg.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <memory>
 #include <optional>
@@ -102,6 +103,9 @@ struct PipelineOptions {
   bool VerifyEach = false;
   /// Dump the program to stderr after every pass that changed it.
   bool PrintAfterAll = false;
+  /// Optional event recorder: each pass runs under a "pass.<name>" span so
+  /// pipeline time and solver time land on one timeline (support/Trace.h).
+  Trace *Telemetry = nullptr;
 };
 
 /// An ordered list of passes plus the runner. Move-only (owns the passes).

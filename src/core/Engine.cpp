@@ -9,6 +9,20 @@
 
 using namespace rmt;
 
+void VerifyResult::record(Stats &S) const {
+  S.add("engine.inlined", static_cast<int64_t>(NumInlined));
+  S.add("engine.merged", static_cast<int64_t>(NumMerged));
+  S.add("engine.solver_checks", static_cast<int64_t>(NumSolverChecks));
+  S.add("engine.under_checks", static_cast<int64_t>(NumUnderChecks));
+  S.add("engine.over_checks", static_cast<int64_t>(NumOverChecks));
+  S.add("engine.iterations", static_cast<int64_t>(NumIterations));
+  S.add("engine.disj_queries", static_cast<int64_t>(NumDisjQueries));
+  S.add("engine.verdict." + std::string(verdictName(Outcome)));
+  S.addTime("engine.seconds", Seconds);
+  S.addTime("engine.solver.seconds", SolverSeconds);
+  S.addTime("engine.merge_lookup.seconds", MergeLookupSeconds);
+}
+
 const char *rmt::verdictName(Verdict V) {
   switch (V) {
   case Verdict::Bug:
@@ -32,13 +46,18 @@ public:
   Engine(const AstContext &Ctx, const CfgProgram &Prog, ProcId Entry,
          std::optional<Symbol> ErrGlobal, const EngineOptions &Opts)
       : Ctx(Ctx), Prog(Prog), Entry(Entry), ErrGlobal(ErrGlobal), Opts(Opts),
-        Budget(Opts.TimeoutSeconds), Solver(createZ3Solver(Arena)),
+        Budget(Opts.TimeoutSeconds),
+        Solver(createZ3Solver(Arena, Opts.Telemetry)),
         Vc(Ctx, Prog, Arena, [this](TermRef T) { Solver->assertTerm(T); },
            Opts.Pvc),
         Disj(Prog), Checker(Vc, Disj),
         Strategy(createStrategy(Opts.Strategy, Prog, Disj, Entry)) {}
 
   VerifyResult run() {
+    TraceSpan RunSpan(Opts.Telemetry, "engine.run",
+                      {{"entry", Ctx.name(Prog.proc(Entry).Name)},
+                       {"mode", Opts.Eager ? "eager" : "stratified"},
+                       {"strategy", strategyName(Opts.Strategy.Kind)}});
     NodeId Root = Vc.genPvc(Entry);
     Checker.onNewNode(Root);
     Strategy->noteNewNode(Root, InvalidEdge);
@@ -52,6 +71,7 @@ public:
       runEager(Root);
     else
       runStratified(Root);
+    RunSpan.note({"verdict", verdictName(Result.Outcome)});
     return finish();
   }
 
@@ -72,6 +92,13 @@ private:
     Result.NumInlined = Vc.numInlined();
     Result.NumSolverChecks = Solver->numChecks();
     Result.NumDisjQueries = Checker.numDisjQueries();
+    if (Trace *T = Opts.Telemetry; T && T->enabled())
+      T->instant("engine.verdict",
+                 {{"verdict", verdictName(Result.Outcome)},
+                  {"inlined", Result.NumInlined},
+                  {"merged", Result.NumMerged},
+                  {"solver_checks", Result.NumSolverChecks},
+                  {"iterations", Result.NumIterations}});
     return Result;
   }
 
@@ -92,9 +119,11 @@ private:
   /// Resolves open edge \p C: ask the strategy for a compatible node, else
   /// inline a fresh copy; bind either way.
   void resolveEdge(EdgeId C) {
+    uint64_t DisjBefore = Checker.numDisjQueries();
     Stopwatch PickWatch;
     std::optional<NodeId> Picked = Strategy->pick(Vc, Checker, C);
-    Result.MergeLookupSeconds += PickWatch.seconds();
+    double PickSeconds = PickWatch.seconds();
+    Result.MergeLookupSeconds += PickSeconds;
 
     NodeId N;
     if (Picked) {
@@ -107,8 +136,32 @@ private:
       Checker.onNewNode(N);
       Strategy->noteNewNode(N, C);
     }
+    if (Trace *T = Opts.Telemetry; T && T->enabled())
+      T->instant(Picked ? "engine.merge" : "engine.inline",
+                 {{"callee", Ctx.name(Prog.proc(Vc.edge(C).Callee).Name)},
+                  {"disj_queries", Checker.numDisjQueries() - DisjBefore},
+                  {"lookup_us", PickSeconds * 1e6}});
     Vc.bindEdge(C, N);
     Checker.onBind(C, N);
+  }
+
+  /// One solver check with telemetry and the per-check stat split. \p Under
+  /// marks the under-approximate (open edges blocked) check; the eager
+  /// engine's single exact check also counts as under (no open edges left).
+  SolveResult timedCheck(const std::vector<TermRef> &Assumptions,
+                         bool Under) {
+    TraceSpan Span(Opts.Telemetry,
+                   Under ? "engine.under_check" : "engine.over_check",
+                   {{"open_edges", Vc.openEdges().size()}});
+    Stopwatch Watch;
+    SolveResult R = Solver->check(Assumptions, checkBudget());
+    Result.SolverSeconds += Watch.seconds();
+    if (Under)
+      ++Result.NumUnderChecks;
+    else
+      ++Result.NumOverChecks;
+    Span.note({"result", solveResultName(R)});
+    return R;
   }
 
   void runEager(NodeId /*Root*/) {
@@ -121,7 +174,7 @@ private:
     Result.NumIterations = 1;
     if (Opts.SkipSolve)
       return; // size-only run; Outcome stays Unknown by design
-    switch (Solver->check({}, Budget.enabled() ? Budget.remaining() : 0)) {
+    switch (timedCheck({}, /*Under=*/true)) {
     case SolveResult::Sat:
       Result.Outcome = Verdict::Bug;
       extractTrace();
@@ -138,6 +191,10 @@ private:
   void runStratified(NodeId /*Root*/) {
     for (;;) {
       ++Result.NumIterations;
+      TraceSpan Iter(Opts.Telemetry, "engine.iteration",
+                     {{"iteration", Result.NumIterations},
+                      {"open_edges", Vc.openEdges().size()},
+                      {"inlined", Vc.numInlined()}});
       if (outOfTime() || overInlineLimit())
         return;
 
@@ -146,7 +203,7 @@ private:
       std::vector<TermRef> Blocked;
       for (EdgeId E : Vc.openEdges())
         Blocked.push_back(Arena.mkNot(Vc.edge(E).Control));
-      switch (Solver->check(Blocked, checkBudget())) {
+      switch (timedCheck(Blocked, /*Under=*/true)) {
       case SolveResult::Sat:
         Result.Outcome = Verdict::Bug;
         extractTrace();
@@ -167,7 +224,7 @@ private:
 
       // Over-approximate check: open calls stay havoc summaries. Unsat here
       // proves safety without further inlining (SI's early stop).
-      switch (Solver->check({}, checkBudget())) {
+      switch (timedCheck({}, /*Under=*/false)) {
       case SolveResult::Unsat:
         Result.Outcome = Verdict::Safe;
         return;

@@ -35,6 +35,7 @@
 #include "smt/Solver.h"
 #include "support/Stats.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <optional>
 
@@ -71,6 +72,13 @@ struct VerifyResult {
   /// Open-edge bindings that reused an existing node.
   size_t NumMerged = 0;
   size_t NumSolverChecks = 0;
+  /// NumSolverChecks split by check kind: under-approximate (all open edges
+  /// blocked; the eager engine's single exact check counts here — it has no
+  /// open edges left) vs over-approximate (open edges free).
+  size_t NumUnderChecks = 0;
+  size_t NumOverChecks = 0;
+  /// Wall time spent inside Solver::check across all checks.
+  double SolverSeconds = 0;
   size_t NumIterations = 0;
   /// Wall time spent inside strategy picks (the paper reports 0.4% for
   /// FIRST).
@@ -78,6 +86,10 @@ struct VerifyResult {
   uint64_t NumDisjQueries = 0;
   /// On Bug: an error trace (pre-order over the inlining structure).
   std::vector<TraceStep> Trace;
+
+  /// Records everything above (minus the trace) into \p S under "engine.*"
+  /// keys, for --stats/--stats-json style reporting.
+  void record(Stats &S) const;
 };
 
 /// Engine configuration.
@@ -95,6 +107,11 @@ struct EngineOptions {
   bool SkipSolve = false;
   /// Abort with ResourceOut past this many inlined instances.
   size_t MaxInlined = 1u << 20;
+  /// Optional event recorder (see support/Trace.h). The engine emits
+  /// per-iteration spans, under-/over-approximate check spans, one instant
+  /// event per inline/merge decision, and a final verdict event. Null or
+  /// disabled costs one branch per site.
+  rmt::Trace *Telemetry = nullptr;
 };
 
 /// Decides the reachability query "does \p Entry have a terminating

@@ -15,11 +15,18 @@ VerifierRunResult rmt::verifyProgram(AstContext &Ctx, const Program &Prog,
                                      Symbol Entry,
                                      const VerifierOptions &Opts) {
   VerifierRunResult Out;
+  TraceSpan VerifySpan(Opts.Telemetry, "verify",
+                       {{"entry", Ctx.name(Entry)}, {"bound", Opts.Bound}});
 
+  TraceSpan BoundSpan(Opts.Telemetry, "verify.bound");
   BoundedInstance Instance = prepareBounded(Ctx, Prog, Entry, Opts.Bound);
+  BoundSpan.close();
   Out.NumAsserts = Instance.NumAsserts;
 
+  TraceSpan LowerSpan(Opts.Telemetry, "verify.lower");
   CfgProgram Cfg = lowerToCfg(Ctx, Instance.Prog);
+  LowerSpan.note({"labels", Cfg.Labels.size()});
+  LowerSpan.close();
   assert(Cfg.isHierarchical() && "bounding must yield a hierarchical program");
   Out.NumProcs = Cfg.Procs.size();
   Out.NumLabels = Cfg.Labels.size();
@@ -34,6 +41,8 @@ VerifierRunResult rmt::verifyProgram(AstContext &Ctx, const Program &Prog,
     // --passes list took over the ordering).
     PrepassOptions PO = Opts.Prepass;
     PO.Invariants = PO.Invariants || Opts.UseInvariants;
+    if (!PO.Telemetry)
+      PO.Telemetry = Opts.Telemetry;
     Out.Prepass = runPrepass(Ctx, Cfg, EntryProc, Instance.ErrVar, PO,
                              &Out.PrepassStats);
     Out.Prepass.record(Out.PrepassStats);
@@ -52,8 +61,11 @@ VerifierRunResult rmt::verifyProgram(AstContext &Ctx, const Program &Prog,
     Out.InvariantConjuncts = Report.Conjuncts;
   }
 
-  Out.Result = solveReachability(Ctx, Cfg, EntryProc, Instance.ErrVar,
-                                 Opts.Engine);
+  EngineOptions EO = Opts.Engine;
+  if (!EO.Telemetry)
+    EO.Telemetry = Opts.Telemetry;
+  Out.Result = solveReachability(Ctx, Cfg, EntryProc, Instance.ErrVar, EO);
+  VerifySpan.note({"verdict", verdictName(Out.Result.Outcome)});
   if (Out.Result.Outcome == Verdict::Bug)
     Out.TraceText = renderTrace(Ctx, Cfg, Out.Result.Trace);
   return Out;

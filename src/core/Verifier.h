@@ -46,6 +46,10 @@ struct VerifierOptions {
   PrepassOptions Prepass;
   /// Engine configuration (strategy, timeout, eager mode, limits).
   EngineOptions Engine;
+  /// Optional event recorder for the whole pipeline (support/Trace.h):
+  /// bounding, lowering, the prepass pipeline, and the engine all record
+  /// onto it. Propagated to Prepass/Engine unless those set their own.
+  rmt::Trace *Telemetry = nullptr;
 };
 
 /// End-to-end result.

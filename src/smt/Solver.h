@@ -25,6 +25,9 @@ namespace rmt {
 /// Outcome of a satisfiability check.
 enum class SolveResult { Sat, Unsat, Unknown };
 
+/// Printable name of \p R ("sat", "unsat", "unknown").
+const char *solveResultName(SolveResult R);
+
 /// An incremental solver over terms of one TermArena.
 class Solver {
 public:
@@ -53,8 +56,13 @@ public:
   /// Number of check() calls made so far.
   unsigned numChecks() const { return NumChecks; }
 
+  /// Number of assertTerm() calls made so far (assertion-stack size as the
+  /// backend sees it; scopes are not subtracted).
+  unsigned numAsserts() const { return NumAsserts; }
+
 protected:
   unsigned NumChecks = 0;
+  unsigned NumAsserts = 0;
 };
 
 } // namespace rmt

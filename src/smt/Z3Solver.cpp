@@ -2,6 +2,8 @@
 
 #include "smt/Z3Solver.h"
 
+#include "support/Trace.h"
+
 #include <z3.h>
 
 #include <cassert>
@@ -12,6 +14,18 @@
 using namespace rmt;
 
 Solver::~Solver() = default;
+
+const char *rmt::solveResultName(SolveResult R) {
+  switch (R) {
+  case SolveResult::Sat:
+    return "sat";
+  case SolveResult::Unsat:
+    return "unsat";
+  case SolveResult::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -25,7 +39,8 @@ void z3ErrorHandler(Z3_context Ctx, Z3_error_code Code) {
 
 class Z3SolverImpl final : public Solver {
 public:
-  explicit Z3SolverImpl(const TermArena &Arena) : Arena(Arena) {
+  Z3SolverImpl(const TermArena &Arena, Trace *Telemetry)
+      : Arena(Arena), Telemetry(Telemetry) {
     Z3_config Config = Z3_mk_config();
     Z3_set_param_value(Config, "model", "true");
     Ctx = Z3_mk_context(Config);
@@ -42,6 +57,7 @@ public:
   }
 
   void assertTerm(TermRef T) override {
+    ++NumAsserts;
     Z3_solver_assert(Ctx, Sol, translate(T));
   }
 
@@ -51,6 +67,9 @@ public:
   SolveResult check(const std::vector<TermRef> &Assumptions,
                     double TimeoutSeconds) override {
     ++NumChecks;
+    TraceSpan Span(Telemetry, "z3.check_sat",
+                   {{"asserts", NumAsserts},
+                    {"assumptions", Assumptions.size()}});
     clearModel();
     if (TimeoutSeconds > 0) {
       Z3_params Params = Z3_mk_params(Ctx);
@@ -68,12 +87,16 @@ public:
       Lits.push_back(translate(A));
     Z3_lbool R = Z3_solver_check_assumptions(
         Ctx, Sol, static_cast<unsigned>(Lits.size()), Lits.data());
+    SolveResult Out = SolveResult::Unknown;
     if (R == Z3_L_TRUE) {
       Model = Z3_solver_get_model(Ctx, Sol);
       Z3_model_inc_ref(Ctx, Model);
-      return SolveResult::Sat;
+      Out = SolveResult::Sat;
+    } else if (R == Z3_L_FALSE) {
+      Out = SolveResult::Unsat;
     }
-    return R == Z3_L_FALSE ? SolveResult::Unsat : SolveResult::Unknown;
+    Span.note({"result", solveResultName(Out)});
+    return Out;
   }
 
   bool modelBool(TermRef ConstTerm) override {
@@ -241,6 +264,7 @@ private:
   }
 
   const TermArena &Arena;
+  Trace *Telemetry = nullptr;
   Z3_context Ctx = nullptr;
   Z3_solver Sol = nullptr;
   Z3_model Model = nullptr;
@@ -251,6 +275,7 @@ private:
 
 } // namespace
 
-std::unique_ptr<Solver> rmt::createZ3Solver(const TermArena &Arena) {
-  return std::make_unique<Z3SolverImpl>(Arena);
+std::unique_ptr<Solver> rmt::createZ3Solver(const TermArena &Arena,
+                                            Trace *Telemetry) {
+  return std::make_unique<Z3SolverImpl>(Arena, Telemetry);
 }

@@ -20,9 +20,14 @@
 
 namespace rmt {
 
+class Trace;
+
 /// Creates a Z3-backed solver over \p Arena. The arena must outlive the
-/// solver. Each solver owns a private Z3 context.
-std::unique_ptr<Solver> createZ3Solver(const TermArena &Arena);
+/// solver. Each solver owns a private Z3 context. When \p Telemetry is
+/// given (and enabled), every check() records a "z3.check_sat" span with
+/// the assertion/assumption counts and the result.
+std::unique_ptr<Solver> createZ3Solver(const TermArena &Arena,
+                                       Trace *Telemetry = nullptr);
 
 } // namespace rmt
 

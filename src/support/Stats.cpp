@@ -2,6 +2,10 @@
 
 #include "support/Stats.h"
 
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 using namespace rmt;
@@ -14,16 +18,49 @@ void Stats::merge(const Stats &Other) {
 }
 
 std::string Stats::str() const {
+  // Both maps are name-ordered; align every value to one column just past
+  // the longest name.
+  size_t Width = 0;
+  for (const auto &[Name, Value] : Counters)
+    Width = std::max(Width, Name.size());
+  for (const auto &[Name, Value] : Times)
+    Width = std::max(Width, Name.size());
+
   std::string Out;
-  char Buf[160];
+  char Buf[192];
+  int W = static_cast<int>(std::min<size_t>(Width, 120));
   for (const auto &[Name, Value] : Counters) {
-    std::snprintf(Buf, sizeof(Buf), "%-40s %lld\n", Name.c_str(),
+    std::snprintf(Buf, sizeof(Buf), "%-*s  %lld\n", W, Name.c_str(),
                   static_cast<long long>(Value));
     Out += Buf;
   }
   for (const auto &[Name, Value] : Times) {
-    std::snprintf(Buf, sizeof(Buf), "%-40s %.4fs\n", Name.c_str(), Value);
+    std::snprintf(Buf, sizeof(Buf), "%-*s  %.4fs\n", W, Name.c_str(), Value);
     Out += Buf;
   }
+  return Out;
+}
+
+std::string Stats::toJson() const {
+  auto Append = [](std::string &Out, const std::string &Name,
+                   const std::string &Value, bool &First) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\"" + jsonEscape(Name) + "\":" + Value;
+  };
+
+  std::string Out = "{\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, Value] : Counters)
+    Append(Out, Name, std::to_string(Value), First);
+  Out += "},\"times\":{";
+  First = true;
+  for (const auto &[Name, Value] : Times) {
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%.9g", std::isfinite(Value) ? Value : 0.0);
+    Append(Out, Name, Buf, First);
+  }
+  Out += "}}";
   return Out;
 }

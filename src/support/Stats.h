@@ -47,8 +47,13 @@ public:
   /// engine stats into corpus-level numbers).
   void merge(const Stats &Other);
 
-  /// Multi-line human-readable rendering.
+  /// Multi-line human-readable rendering: counters then times, each in
+  /// deterministic name-sorted order with values in one aligned column.
   std::string str() const;
+
+  /// JSON object {"counters":{...},"times":{...}} with name-sorted keys
+  /// (stable across runs; embedded by Trace::statsJson()).
+  std::string toJson() const;
 
 private:
   std::map<std::string, int64_t> Counters;

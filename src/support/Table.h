@@ -33,6 +33,10 @@ public:
 
   size_t numRows() const { return Rows.size(); }
 
+  /// Raw access for non-text exporters (bench JSON output).
+  const std::vector<std::string> &header() const { return Header; }
+  const std::vector<std::vector<std::string>> &rows() const { return Rows; }
+
   /// Renders with space-aligned columns.
   std::string str() const;
   /// Renders as CSV (header + rows).

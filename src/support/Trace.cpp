@@ -1,0 +1,224 @@
+//===- Trace.cpp ----------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+using namespace rmt;
+
+std::string rmt::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+std::string quoted(std::string_view S) {
+  return "\"" + jsonEscape(S) + "\"";
+}
+
+/// JSON-safe double rendering (JSON has no inf/nan literals).
+std::string numberJson(double V) {
+  if (!std::isfinite(V))
+    return "0";
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  return Buf;
+}
+
+std::string argsJson(const std::vector<TraceArg> &Args) {
+  std::string Out = "{";
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += quoted(Args[I].Key) + ":" + Args[I].valueJson();
+  }
+  Out += "}";
+  return Out;
+}
+
+} // namespace
+
+std::string TraceArg::valueJson() const {
+  switch (K) {
+  case Kind::Int:
+    return std::to_string(Int);
+  case Kind::Float:
+    return numberJson(Float);
+  case Kind::Str:
+    return quoted(Str);
+  }
+  return "null";
+}
+
+const char *rmt::tracePhaseName(TraceEvent::Phase P) {
+  switch (P) {
+  case TraceEvent::Phase::Begin:
+    return "B";
+  case TraceEvent::Phase::End:
+    return "E";
+  case TraceEvent::Phase::Instant:
+    return "i";
+  }
+  return "?";
+}
+
+Trace::Trace(size_t Capacity) : Ring(Capacity ? Capacity : 1) {}
+
+TraceEvent &Trace::push() {
+  size_t Slot;
+  if (Count < Ring.size()) {
+    Slot = (Start + Count) % Ring.size();
+    ++Count;
+  } else {
+    // Full: overwrite the oldest event, keep the newest ones.
+    Slot = Start;
+    Start = (Start + 1) % Ring.size();
+    ++Dropped;
+  }
+  TraceEvent &E = Ring[Slot];
+  E.Args.clear();
+  return E;
+}
+
+void Trace::begin(std::string_view Name,
+                  std::initializer_list<TraceArg> Args) {
+  if (!Enabled)
+    return;
+  double Now = Epoch.seconds() * 1e6;
+  TraceEvent &E = push();
+  E.Ph = TraceEvent::Phase::Begin;
+  E.Micros = Now;
+  E.Name = Name;
+  E.Args.assign(Args.begin(), Args.end());
+  Stack.push_back({std::string(Name), Now});
+}
+
+void Trace::end(std::initializer_list<TraceArg> Args) {
+  end(std::vector<TraceArg>(Args.begin(), Args.end()));
+}
+
+void Trace::end(std::vector<TraceArg> Args) {
+  if (!Enabled || Stack.empty())
+    return;
+  double Now = Epoch.seconds() * 1e6;
+  OpenSpan Span = std::move(Stack.back());
+  Stack.pop_back();
+  SpanAgg &Agg = Aggregates[Span.Name];
+  ++Agg.Count;
+  Agg.Seconds += (Now - Span.StartMicros) / 1e6;
+  TraceEvent &E = push();
+  E.Ph = TraceEvent::Phase::End;
+  E.Micros = Now;
+  E.Name = std::move(Span.Name);
+  E.Args = std::move(Args);
+}
+
+void Trace::instant(std::string_view Name,
+                    std::initializer_list<TraceArg> Args) {
+  if (!Enabled)
+    return;
+  double Now = Epoch.seconds() * 1e6;
+  TraceEvent &E = push();
+  E.Ph = TraceEvent::Phase::Instant;
+  E.Micros = Now;
+  E.Name = Name;
+  E.Args.assign(Args.begin(), Args.end());
+}
+
+std::string Trace::chromeJson() const {
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t I = 0; I < numEvents(); ++I) {
+    const TraceEvent &E = event(I);
+    if (I)
+      Out += ",";
+    Out += "\n{\"name\":" + quoted(E.Name);
+    Out += ",\"ph\":\"";
+    Out += tracePhaseName(E.Ph);
+    Out += "\",\"ts\":" + numberJson(E.Micros);
+    Out += ",\"pid\":1,\"tid\":1";
+    if (E.Ph == TraceEvent::Phase::Instant)
+      Out += ",\"s\":\"t\"";
+    if (!E.Args.empty())
+      Out += ",\"args\":" + argsJson(E.Args);
+    Out += "}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+std::string Trace::statsJson(const Stats *S) const {
+  std::string Out = "{\n\"stats\": ";
+  Out += S ? S->toJson() : std::string("{\"counters\":{},\"times\":{}}");
+  Out += ",\n\"spans\": {";
+  bool First = true;
+  for (const auto &[Name, Agg] : Aggregates) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  " + quoted(Name) + ": {\"count\":" +
+           std::to_string(Agg.Count) +
+           ",\"seconds\":" + numberJson(Agg.Seconds) + "}";
+  }
+  Out += "\n},\n\"trace\": {\"events\":" + std::to_string(numEvents()) +
+         ",\"dropped\":" + std::to_string(Dropped) +
+         ",\"capacity\":" + std::to_string(Ring.size()) +
+         ",\"open_spans\":" + std::to_string(Stack.size()) + "}\n}\n";
+  return Out;
+}
+
+namespace {
+
+bool writeText(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << Text;
+  return static_cast<bool>(Out.flush());
+}
+
+} // namespace
+
+bool Trace::writeChromeJson(const std::string &Path) const {
+  return writeText(Path, chromeJson());
+}
+
+bool Trace::writeStatsJson(const std::string &Path, const Stats *S) const {
+  return writeText(Path, statsJson(S));
+}

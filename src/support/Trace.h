@@ -1,0 +1,202 @@
+//===- Trace.h - Structured engine telemetry --------------------*- C++ -*-===//
+//
+// Part of the daginline project, a reproduction of "DAG Inlining" (PLDI'15).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instance-scoped tracing and metrics for the verification pipeline. The
+/// engines record *when* things happen (per-iteration spans, one instant
+/// event per inline/merge decision, a span per check-sat), not just the
+/// totals that land in Stats, so inlining blowup and solver stalls can be
+/// diagnosed per query the way Corral-style tools expose their traces.
+///
+/// Model: a Trace owns a preallocated ring buffer of events. RAII TraceSpan
+/// objects record nested Begin/End pairs; instant() records point events.
+/// Every recorder is null-safe and checks the runtime on/off switch first,
+/// so a disabled (or absent) trace costs one pointer test per site.
+///
+/// Exporters:
+///  * chromeJson()  — Chrome `trace_event` array format, loadable in
+///                    chrome://tracing and Perfetto.
+///  * statsJson()   — a machine-readable document bundling a Stats bag with
+///                    the per-name span aggregates (count + total seconds).
+///
+/// Span aggregates are maintained outside the ring, so totals stay exact
+/// even after the ring wraps and drops the oldest events.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RMT_SUPPORT_TRACE_H
+#define RMT_SUPPORT_TRACE_H
+
+#include "support/Stats.h"
+#include "support/Timer.h"
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rmt {
+
+/// Escapes \p S for embedding inside a JSON string literal: quotes,
+/// backslashes, and control characters (as \uXXXX or the short forms).
+std::string jsonEscape(std::string_view S);
+
+/// One key/value argument attached to a trace event. Values are integers,
+/// doubles, or strings (rendered into the Chrome event's "args" object).
+struct TraceArg {
+  enum class Kind : uint8_t { Int, Float, Str };
+
+  std::string Key;
+  Kind K = Kind::Int;
+  int64_t Int = 0;
+  double Float = 0;
+  std::string Str;
+
+  TraceArg() = default;
+  TraceArg(std::string_view Key, int64_t V)
+      : Key(Key), K(Kind::Int), Int(V) {}
+  TraceArg(std::string_view Key, uint64_t V)
+      : Key(Key), K(Kind::Int), Int(static_cast<int64_t>(V)) {}
+  TraceArg(std::string_view Key, int V)
+      : TraceArg(Key, static_cast<int64_t>(V)) {}
+  TraceArg(std::string_view Key, unsigned V)
+      : TraceArg(Key, static_cast<int64_t>(V)) {}
+  TraceArg(std::string_view Key, double V)
+      : Key(Key), K(Kind::Float), Float(V) {}
+  TraceArg(std::string_view Key, std::string_view V)
+      : Key(Key), K(Kind::Str), Str(V) {}
+  TraceArg(std::string_view Key, const char *V)
+      : TraceArg(Key, std::string_view(V)) {}
+
+  /// JSON rendering of the value (quoted/escaped for strings).
+  std::string valueJson() const;
+};
+
+/// One recorded event, ring-buffer resident.
+struct TraceEvent {
+  enum class Phase : uint8_t { Begin, End, Instant };
+
+  Phase Ph = Phase::Instant;
+  /// Microseconds since the owning Trace's construction.
+  double Micros = 0;
+  std::string Name;
+  std::vector<TraceArg> Args;
+};
+
+/// Printable Chrome phase letter ("B", "E", "i") of \p P.
+const char *tracePhaseName(TraceEvent::Phase P);
+
+/// An instance-scoped event recorder (no global state; parallel engines each
+/// get their own). Starts disabled: recording costs one branch until
+/// setEnabled(true). Toggle between runs, not inside an open span.
+class Trace {
+public:
+  /// \p Capacity is the fixed ring size in events (allocated up front).
+  explicit Trace(size_t Capacity = DefaultCapacity);
+
+  static constexpr size_t DefaultCapacity = 1 << 14;
+
+  void setEnabled(bool On) { Enabled = On; }
+  bool enabled() const { return Enabled; }
+
+  /// Opens a span. Prefer the RAII TraceSpan over calling this directly.
+  void begin(std::string_view Name,
+             std::initializer_list<TraceArg> Args = {});
+  /// Closes the innermost open span, attaching \p Args to the End event.
+  void end(std::initializer_list<TraceArg> Args = {});
+  void end(std::vector<TraceArg> Args);
+  /// Records a point event.
+  void instant(std::string_view Name,
+               std::initializer_list<TraceArg> Args = {});
+
+  /// Events currently held, oldest first. Index \p I in [0, numEvents()).
+  size_t numEvents() const { return Count; }
+  const TraceEvent &event(size_t I) const {
+    return Ring[(Start + I) % Ring.size()];
+  }
+  /// Oldest events overwritten after the ring filled.
+  size_t numDropped() const { return Dropped; }
+  size_t capacity() const { return Ring.size(); }
+  /// Spans begun but not yet ended.
+  size_t openSpans() const { return Stack.size(); }
+
+  /// Total wall time and occurrence count per span name, exact across ring
+  /// wraparound.
+  struct SpanAgg {
+    uint64_t Count = 0;
+    double Seconds = 0;
+  };
+  const std::map<std::string, SpanAgg> &spanAggregates() const {
+    return Aggregates;
+  }
+
+  /// Chrome trace_event JSON ({"displayTimeUnit":...,"traceEvents":[...]}).
+  std::string chromeJson() const;
+  /// Machine-readable stats document: the optional \p S bag (counters and
+  /// times) plus span aggregates and ring metadata.
+  std::string statsJson(const Stats *S = nullptr) const;
+
+  /// File-writing convenience wrappers; false on I/O failure.
+  bool writeChromeJson(const std::string &Path) const;
+  bool writeStatsJson(const std::string &Path, const Stats *S = nullptr) const;
+
+private:
+  /// Claims the next ring slot (overwriting the oldest event when full).
+  TraceEvent &push();
+
+  struct OpenSpan {
+    std::string Name;
+    double StartMicros = 0;
+  };
+
+  bool Enabled = false;
+  Stopwatch Epoch;
+  std::vector<TraceEvent> Ring;
+  size_t Start = 0;
+  size_t Count = 0;
+  size_t Dropped = 0;
+  std::vector<OpenSpan> Stack;
+  std::map<std::string, SpanAgg> Aggregates;
+};
+
+/// RAII span over a (possibly null, possibly disabled) Trace. Closes on
+/// destruction; note() attaches result-style args to the End event.
+class TraceSpan {
+public:
+  TraceSpan(Trace *T, std::string_view Name,
+            std::initializer_list<TraceArg> Args = {})
+      : T(T && T->enabled() ? T : nullptr) {
+    if (this->T)
+      this->T->begin(Name, Args);
+  }
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+  ~TraceSpan() { close(); }
+
+  /// Attaches \p A to the closing End event (e.g. a check's result).
+  void note(TraceArg A) {
+    if (T)
+      EndArgs.push_back(std::move(A));
+  }
+
+  /// Closes the span now (idempotent).
+  void close() {
+    if (!T)
+      return;
+    T->end(std::move(EndArgs));
+    T = nullptr;
+  }
+
+private:
+  Trace *T;
+  std::vector<TraceArg> EndArgs;
+};
+
+} // namespace rmt
+
+#endif // RMT_SUPPORT_TRACE_H

@@ -223,6 +223,62 @@ TEST(Stats, AddAndMerge) {
   EXPECT_DOUBLE_EQ(A.getTime("t"), 0.5);
 }
 
+TEST(Stats, StrIsSortedAndAligned) {
+  Stats S;
+  S.add("zeta", 7);
+  S.add("alpha.long.counter.name", 1);
+  S.add("mid", 3);
+  S.addTime("beta.time", 0.25);
+  std::string Text = S.str();
+
+  // Counters render name-sorted, then times; every value starts in the same
+  // column (two spaces past the longest name).
+  size_t A = Text.find("alpha.long.counter.name");
+  size_t M = Text.find("mid");
+  size_t Z = Text.find("zeta");
+  size_t B = Text.find("beta.time");
+  ASSERT_NE(A, std::string::npos);
+  ASSERT_NE(B, std::string::npos);
+  EXPECT_LT(A, M);
+  EXPECT_LT(M, Z);
+  EXPECT_LT(Z, B); // times after counters
+
+  std::vector<size_t> ValueCols;
+  size_t LineStart = 0;
+  while (LineStart < Text.size()) {
+    size_t LineEnd = Text.find('\n', LineStart);
+    std::string Line = Text.substr(LineStart, LineEnd - LineStart);
+    size_t Col = Line.find_last_of(' ');
+    ASSERT_NE(Col, std::string::npos);
+    ValueCols.push_back(Col + 1);
+    LineStart = LineEnd + 1;
+  }
+  ASSERT_EQ(ValueCols.size(), 4u);
+  for (size_t C : ValueCols)
+    EXPECT_EQ(C, ValueCols.front());
+
+  // Deterministic: same bag, same rendering.
+  EXPECT_EQ(Text, S.str());
+}
+
+TEST(Stats, ToJson) {
+  Stats S;
+  S.add("b", 2);
+  S.add("a", -1);
+  S.addTime("t", 0.5);
+  EXPECT_EQ(S.toJson(),
+            "{\"counters\":{\"a\":-1,\"b\":2},\"times\":{\"t\":0.5}}");
+  Stats Empty;
+  EXPECT_EQ(Empty.toJson(), "{\"counters\":{},\"times\":{}}");
+}
+
+TEST(Stats, ToJsonEscapesKeys) {
+  Stats S;
+  S.add("weird \"key\"\\n", 1);
+  std::string Json = S.toJson();
+  EXPECT_NE(Json.find("weird \\\"key\\\"\\\\n"), std::string::npos);
+}
+
 TEST(Table, AlignedAndCsv) {
   Table T({"name", "value"});
   T.row();
